@@ -1,0 +1,68 @@
+"""Section 2.5.3: cruise-missile invalidates.
+
+CMI bounds the messages one request injects (at most four) — the basis of
+Piranha's size-independent 128-header buffering bound — and the paper's
+studies showed it can also *beat* the conventional scheme's invalidation
+latency by avoiding the injection/gather serialisation at the home and
+requester.  This benchmark sweeps sharer-set sizes on a 1K-node-class
+topology and regenerates both results.
+"""
+
+from repro.interconnect import (
+    buffering_bound,
+    cmi_latency,
+    fanout_latency,
+    fanout_messages,
+    mesh2d,
+    plan_cmi,
+)
+from repro.harness import format_table
+
+HOP_NS = 8.0
+VISIT_NS = 10.0
+INJECT_NS = 6.0
+GATHER_NS = 6.0
+
+
+def sweep():
+    topo = mesh2d(8, 8)
+    rows = []
+    for n_sharers in (2, 4, 8, 16, 32, 63):
+        sharers = list(range(1, n_sharers + 1))
+        plan = plan_cmi(topo, home=0, requester=0, sharers=sharers)
+        t_cmi = cmi_latency(topo, plan, HOP_NS, VISIT_NS)
+        t_fan = fanout_latency(topo, 0, 0, sharers, HOP_NS, VISIT_NS,
+                               INJECT_NS, GATHER_NS)
+        injected_fan, _ = fanout_messages(sharers, 0)
+        rows.append({
+            "sharers": n_sharers,
+            "cmi_messages": plan.messages_injected,
+            "fanout_messages": injected_fan,
+            "cmi_ns": t_cmi,
+            "fanout_ns": t_fan,
+        })
+    return rows
+
+
+def test_cmi(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print()
+    print(format_table(
+        ["sharers", "CMI msgs", "fan-out msgs", "CMI ns", "fan-out ns"],
+        [[r["sharers"], r["cmi_messages"], r["fanout_messages"],
+          f"{r['cmi_ns']:.0f}", f"{r['fanout_ns']:.0f}"] for r in rows],
+        title="Section 2.5.3: CMI vs conventional invalidation fan-out"))
+    print(f"\n  per-node buffering bound: {buffering_bound()} message "
+          f"headers (2 engines x 16 TSRFs x 4 invalidations)")
+
+    for r in rows:
+        # the bound that makes buffering size-independent
+        assert r["cmi_messages"] <= 4
+    # conventional injection grows linearly; CMI stays flat
+    assert rows[-1]["fanout_messages"] == 63
+    assert rows[-1]["cmi_messages"] == 4
+    # latency advantage appears for large sharer sets
+    big = rows[-1]
+    assert big["cmi_ns"] < big["fanout_ns"]
+    assert buffering_bound() == 128

@@ -1,0 +1,51 @@
+"""Figure 5: single-chip performance, Piranha vs a 1 GHz out-of-order chip.
+
+Regenerates the normalised execution-time bars (OOO = 100) with the
+CPU-busy / L2-hit / L2-miss breakdown for P1, OOO, INO and P8 on both OLTP
+and DSS, and checks the paper's headline factors:
+
+* OOO outperforms P1 by ~2.3x (OLTP); INO accounts for ~1.6x of that;
+* the eight-CPU Piranha outperforms OOO by ~2.9x on OLTP, ~2.3x on DSS.
+"""
+
+import pytest
+
+from repro.harness import breakdown_bar, figure5, paper_vs_measured
+
+
+@pytest.mark.parametrize("workload", ["oltp", "dss"])
+def test_figure5(benchmark, workload):
+    fig = benchmark.pedantic(figure5, args=(workload,), rounds=1, iterations=1)
+
+    print()
+    print(f"Figure 5 ({workload.upper()}): normalised execution time "
+          f"(OOO = 100)")
+    for name in ("P1", "INO", "OOO", "P8"):
+        r = fig["results"][name]
+        norm = fig["normalized"][name]
+        bar = breakdown_bar(f"{name} ({norm:5.0f})", r.busy_frac * norm,
+                            r.l2_frac * norm, r.mem_frac * norm)
+        print("  " + bar)
+    rows = [
+        (f"{name} normalised time", fig["paper"][name],
+         fig["normalized"][name])
+        for name in ("P1", "INO", "OOO", "P8")
+    ]
+    rows.append(("P8 speedup over OOO (per chip)",
+                 {"oltp": 2.9, "dss": 2.3}[workload],
+                 fig["speedup_p8_over_ooo"]))
+    print(paper_vs_measured(f"Figure 5 {workload}", rows))
+
+    # shape assertions (generous bands: the substrate is synthetic)
+    if workload == "oltp":
+        assert 2.0 <= fig["speedup_ooo_over_p1"] <= 2.8
+        assert 1.4 <= fig["speedup_ino_over_p1"] <= 1.8
+        assert 2.4 <= fig["speedup_p8_over_ooo"] <= 3.7
+    else:
+        assert 3.0 <= fig["speedup_ooo_over_p1"] <= 4.6
+        assert 1.6 <= fig["speedup_ino_over_p1"] <= 2.2
+        assert 1.9 <= fig["speedup_p8_over_ooo"] <= 2.8
+    # P8 wins on both workloads; the win is bigger on OLTP (checked by the
+    # bands above); breakdowns are sane
+    for r in fig["results"].values():
+        assert r.busy_frac + r.l2_frac + r.mem_frac == pytest.approx(1.0)

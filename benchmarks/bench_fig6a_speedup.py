@@ -1,0 +1,28 @@
+"""Figure 6(a): Piranha's OLTP speedup vs number of on-chip CPUs.
+
+The paper reports a speedup of nearly seven with eight CPUs, driven by the
+abundant thread-level parallelism of OLTP, the tight on-chip coupling
+through the shared L2, and the effectiveness of the non-inclusive caches.
+"""
+
+from repro.harness import figure6a, paper_vs_measured, series
+
+
+def test_figure6a(benchmark):
+    fig = benchmark.pedantic(figure6a, rounds=1, iterations=1)
+
+    print()
+    print(series("Piranha OLTP speedup (measured)", fig["speedups"]))
+    print(series("Piranha OLTP speedup (paper)   ", fig["paper"]))
+    print(paper_vs_measured("Figure 6a", [
+        (f"speedup at {n} CPUs", fig["paper"][n], fig["speedups"][n])
+        for n in (1, 2, 4, 8)
+    ]))
+
+    s = fig["speedups"]
+    # monotone scaling with near-seven at eight CPUs
+    assert s[1] == 1.0
+    assert s[1] < s[2] < s[4] < s[8]
+    assert 1.6 <= s[2] <= 2.2
+    assert 3.2 <= s[4] <= 4.4
+    assert 6.0 <= s[8] <= 8.0

@@ -1,0 +1,43 @@
+"""Figure 6(b): L1-miss service breakdown vs on-chip CPU count (OLTP).
+
+The paper's trends: the L2-hit share falls from ~90% at one CPU to under
+40% at eight, the share served by *other on-chip L1s* (L2 Fwd) grows to
+roughly half, and the share that goes to memory stays roughly constant at
+under 20% past a single CPU — the non-inclusive hierarchy keeps the
+growing working set on chip.
+"""
+
+from repro.harness import figure6b, format_table
+
+
+def test_figure6b(benchmark):
+    fig = benchmark.pedantic(figure6b, rounds=1, iterations=1)
+
+    rows = []
+    for n in (1, 2, 4, 8):
+        m, p = fig["measured"][n], fig["paper"][n]
+        rows.append([
+            f"P{n}",
+            f"{m['hit']:.2f} / {p['hit']:.2f}",
+            f"{m['fwd']:.2f} / {p['fwd']:.2f}",
+            f"{m['mem']:.2f} / {p['mem']:.2f}",
+        ])
+    print()
+    print(format_table(
+        ["config", "L2 hit (meas/paper)", "L2 fwd (meas/paper)",
+         "L2 miss (meas/paper)"],
+        rows, title="Figure 6b: L1-miss breakdown"))
+
+    m = fig["measured"]
+    # hits fall monotonically as CPUs are added
+    assert m[1]["hit"] > m[2]["hit"] > m[4]["hit"] > m[8]["hit"]
+    # forwards grow from zero
+    assert m[1]["fwd"] == 0.0
+    assert m[2]["fwd"] < m[8]["fwd"]
+    # P1 serves ~90% of misses on chip, ~10% from memory
+    assert m[1]["hit"] >= 0.85
+    assert m[1]["mem"] <= 0.15
+    # memory share stays roughly flat and under 20% past one CPU
+    for n in (2, 4, 8):
+        assert m[n]["mem"] < 0.20
+    assert abs(m[8]["mem"] - m[2]["mem"]) < 0.10

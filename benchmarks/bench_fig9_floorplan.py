@@ -1,0 +1,30 @@
+"""Figure 9 / Section 5: floor-plan area budget of the processing node.
+
+Roughly 75% of the Piranha processing node is the Alpha cores and the
+L1/L2 caches; the rest is memory controllers, intra-chip interconnect,
+router and protocol engines.
+"""
+
+from repro.area import floorplan_summary
+from repro.core import PIRANHA_P8
+from repro.harness import format_table, paper_vs_measured
+
+
+def test_figure9(benchmark):
+    summary = benchmark.pedantic(floorplan_summary, args=(PIRANHA_P8,),
+                                 rounds=1, iterations=1)
+
+    rows = [[m.name, m.count, f"{m.area_mm2:.1f}", f"{m.total_mm2:.1f}"]
+            for m in summary["modules"]]
+    print()
+    print(format_table(["module", "count", "mm^2 each", "mm^2 total"], rows,
+                       title="Figure 9: Piranha processing-node floor-plan"))
+    print()
+    print(paper_vs_measured("Area budget", [
+        ("cores + caches fraction", 0.75,
+         summary["cores_and_caches_fraction"]),
+    ]))
+
+    assert 0.70 <= summary["cores_and_caches_fraction"] <= 0.85
+    groups = summary["by_group_mm2"]
+    assert groups["cache"] > groups["cpu"]  # SRAM dominates simple cores

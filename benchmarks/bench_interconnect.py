@@ -1,0 +1,73 @@
+"""Section 2.6: interconnect building blocks under load.
+
+Measures (a) router saturation behaviour on uniform-random traffic —
+aggregate delivered bandwidth approaching the per-link serialisation
+limit — and (b) the DC-balanced encoder's throughput-critical encode path
+(exercised per 16-bit word on every channel in hardware; here the model's
+hot path).
+"""
+
+import pytest
+
+from repro.interconnect import (
+    Packet,
+    PacketType,
+    build_routers,
+    decode,
+    encode,
+    mesh2d,
+)
+from repro.sim import Simulator, substream
+
+
+def run_uniform_traffic(packets_per_node=60):
+    sim = Simulator()
+    topo = mesh2d(4, 4)
+    routers = build_routers(sim, topo, iq_capacity=256, oq_capacity=128)
+    delivered = []
+    for n in topo.nodes:
+        routers[n].iq.set_default_disposition(
+            lambda p, n=n: delivered.append((n, sim.now)) or True)
+    rng = substream(77, "traffic")
+    for src in topo.nodes:
+        for _ in range(packets_per_node):
+            dst = rng.randrange(16)
+            while dst == src:
+                dst = rng.randrange(16)
+            routers[src].inject(
+                Packet(PacketType.READ, src=src, dst=dst))
+    sim.run()
+    latencies = [t for _, t in delivered]
+    return {
+        "delivered": len(delivered),
+        "injected": 16 * packets_per_node,
+        "finish_ns": sim.now / 1000.0,
+        "misroutes": sum(r.c_misroutes.value for r in routers.values()),
+    }
+
+
+def test_router_under_load(benchmark):
+    stats = benchmark.pedantic(run_uniform_traffic, rounds=1, iterations=1)
+
+    print()
+    print(f"  uniform traffic: {stats['delivered']}/{stats['injected']} "
+          f"delivered in {stats['finish_ns']:.0f} ns "
+          f"({stats['misroutes']} hot-potato misroutes)")
+
+    assert stats["delivered"] == stats["injected"]  # nothing lost
+    # aggregate throughput: 960 short packets through a 4x4 mesh within a
+    # few microseconds
+    assert stats["finish_ns"] < 5000
+
+
+def test_encoder_throughput(benchmark):
+    """Encode+decode a frame's worth of words (the per-packet work)."""
+
+    def frame():
+        out = 0
+        for value in range(40):
+            out ^= decode(encode(value * 991 % (1 << 18), value & 1))[0]
+        return out
+
+    result = benchmark(frame)
+    assert isinstance(result, int)

@@ -1,0 +1,108 @@
+"""Section 2.3 ablations: the non-inclusive L2 and the ownership filter.
+
+Quantifies the design choices the paper calls out:
+
+* **non-inclusion A/B**: the same P8 chip simulated with a conventional
+  inclusive L2 ("maintaining data inclusion in our 1MB L2 can potentially
+  waste its full capacity with duplicate data") — the non-inclusive design
+  must win on OLTP throughput and memory-miss share;
+* **duplication**: under non-inclusion almost no line is duplicated
+  between the L1s and the L2;
+* **ownership-filtered write-backs**: among L1 replacements, only the
+  owner's replacement writes back to the L2 — non-owner replacements are
+  silent.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import CoherenceChecker, PiranhaSystem, preset
+from repro.harness import format_table, paper_vs_measured, scale_factor
+from repro.workloads import OltpParams, OltpWorkload
+
+
+def run_p8(inclusive=False):
+    scale = scale_factor()
+    params = OltpParams(
+        transactions=max(20, int(60 * scale)),
+        warmup_transactions=max(30, int(100 * scale)),
+    )
+    config = preset("P8")
+    if inclusive:
+        config = dataclasses.replace(
+            config, l2=dataclasses.replace(config.l2, inclusive=True))
+    system = PiranhaSystem(config, num_nodes=1)
+    system.attach_workload(OltpWorkload(params, cpus_per_node=8))
+    system.run_to_completion()
+
+    node = system.nodes[0]
+    l1_lines = set()
+    for l1 in node.l1i + node.l1d:
+        for s in l1.sets:
+            for tag in s:
+                l1_lines.add(tag)
+    l2_lines = set()
+    for bank in node.banks:
+        for s in bank.sets:
+            for tag in s:
+                l2_lines.add(tag)
+    duplicated = len(l1_lines & l2_lines)
+    filtered = sum(b.c_l1_evict_clean.value for b in node.banks)
+    written_back = sum(b.c_l1_wb_owner.value for b in node.banks)
+    return {
+        "l1_lines": len(l1_lines),
+        "l2_lines": len(l2_lines),
+        "duplicated": duplicated,
+        "duplication_fraction": duplicated / max(1, len(l2_lines)),
+        "filtered_replacements": filtered,
+        "owner_writebacks": written_back,
+        "on_chip_bytes": node.on_chip_resident_bytes(),
+        "time_per_txn_ns": max(c.total_ps for c in system.all_cpus())
+                           / params.transactions / 1000.0,
+        "mem_miss_frac": (
+            sum(b.miss_breakdown()["l2_miss"] for b in node.banks)
+            / max(1, sum(sum(b.miss_breakdown().values())
+                         for b in node.banks))
+        ),
+    }
+
+
+def ab_comparison():
+    return {"noninclusive": run_p8(False), "inclusive": run_p8(True)}
+
+
+def test_noninclusion(benchmark):
+    ab = benchmark.pedantic(ab_comparison, rounds=1, iterations=1)
+    stats = ab["noninclusive"]
+    incl = ab["inclusive"]
+
+    print()
+    print(format_table(["metric", "value"], [
+        ["distinct lines in L1s", stats["l1_lines"]],
+        ["lines in L2", stats["l2_lines"]],
+        ["duplicated (in both)", stats["duplicated"]],
+        ["L2 duplication fraction", f"{stats['duplication_fraction']:.3f}"],
+        ["owner write-backs", stats["owner_writebacks"]],
+        ["filtered (silent) replacements", stats["filtered_replacements"]],
+        ["on-chip resident bytes", stats["on_chip_bytes"]],
+    ], title="Section 2.3: non-inclusion + ownership-filter ablation"))
+
+    # Non-inclusion: an inclusive hierarchy would have EVERY L1 line
+    # duplicated in the L2 (duplication fraction near aggregate-L1/L2);
+    # Piranha's is a small residue of in-flight transitions.
+    assert stats["duplication_fraction"] < 0.25
+    # The victim L2 holds a meaningful working set of its own
+    assert stats["l2_lines"] > 1000
+    # The ownership filter suppresses a visible share of write-backs
+    total = stats["filtered_replacements"] + stats["owner_writebacks"]
+    assert stats["filtered_replacements"] / total > 0.05
+    # aggregate on-chip contents exceed the 1 MB L2 alone
+    assert stats["on_chip_bytes"] > 1024 * 1024
+    # A/B: the paper's design point beats the inclusive alternative
+    speedup = incl["time_per_txn_ns"] / stats["time_per_txn_ns"]
+    print(f"\n  inclusive-L2 ablation: non-inclusion is {speedup:.2f}x "
+          f"faster on OLTP (memory-miss share "
+          f"{stats['mem_miss_frac']:.2f} vs {incl['mem_miss_frac']:.2f})")
+    assert speedup > 1.1
+    assert incl["mem_miss_frac"] > stats["mem_miss_frac"] * 1.5

@@ -1,0 +1,27 @@
+"""Table 1: parameters of the P8 / OOO / P8F processor designs.
+
+Regenerates the table from the configuration presets and checks the
+latency compositions reproduce the paper's values.
+"""
+
+from repro.harness import format_table, table1_parameters
+
+
+def test_table1(benchmark):
+    table = benchmark.pedantic(table1_parameters, rounds=1, iterations=1)
+
+    rows = []
+    params = list(next(iter(table.values())).keys())
+    for param in params:
+        rows.append([param] + [table[c][param] for c in ("P8", "OOO", "P8F")])
+    print()
+    print(format_table(
+        ["Parameter", "Piranha (P8)", "Next-gen (OOO)", "Full-custom (P8F)"],
+        rows, title="Table 1: parameters for the different processor designs"))
+
+    assert table["P8"]["L2 Hit / L2 Fwd Latency"] == "16 ns / 24 ns"
+    assert table["P8F"]["L2 Hit / L2 Fwd Latency"] == "12 ns / 16 ns"
+    assert all(table[c]["Local Memory Latency"] == "80 ns"
+               for c in ("P8", "OOO", "P8F"))
+    assert all(table[c]["Remote Memory Latency"] == "120 ns"
+               for c in ("P8", "OOO", "P8F"))

@@ -1,0 +1,18 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one table or figure from the paper's evaluation
+and prints a paper-vs-measured comparison.  Simulation results are memoised
+inside :mod:`repro.harness.runner`, so pytest-benchmark's calibration
+re-invocations don't re-simulate.
+
+Set ``REPRO_SCALE=0.5`` (etc.) to shrink the simulated workloads for a
+quick pass.
+"""
+
+import pytest
+
+
+def print_report(text: str) -> None:
+    print()
+    print(text)
+    print()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""The Piranha I/O node: coherent DMA and the on-chip driver CPU (Fig. 2).
+
+Builds one processing node plus one I/O node (a stripped-down chip: one
+CPU, one L2/MC, a two-link router, and a dL1-fronted PCI/X bridge), then:
+
+1. a CPU on the processing node dirties a buffer;
+2. the device DMA-reads it — the bridge's dL1 pulls the dirty lines
+   through the ordinary coherence protocol (no flush needed);
+3. the device DMA-writes a result buffer with wh64 semantics;
+4. completion raises an interrupt, and the I/O node's own CPU — a
+   full-fledged Alpha, per the paper — runs the driver's completion work.
+
+Run:  python examples/io_node_dma.py
+"""
+
+from repro import AccessKind, CoherenceChecker, PiranhaSystem, preset
+from repro.core.messages import MemRequest, RequestType
+from repro.workloads.base import WorkloadThread
+
+BUFFER = 0x0000        # homed at the processing node
+RESULT = 0x2000        # homed at the I/O node
+LINES = 16
+
+
+def main() -> None:
+    checker = CoherenceChecker()
+    system = PiranhaSystem(preset("P4"), num_nodes=1, io_nodes=1,
+                           checker=checker)
+    proc, io = system.nodes[0], system.io[0]
+    print(f"topology: {[(n, system.topology.kind(n)) for n in system.topology.nodes]}")
+    print(f"I/O node config: {io.config.cpus} CPU, "
+          f"{io.config.l2.banks} L2 bank "
+          f"({io.config.l2.size_bytes // 1024} KB), 2-link router\n")
+
+    # 1. the processing node's CPU dirties the DMA buffer
+    pending = [0]
+
+    def store_done(latency, source):
+        pending[0] -= 1
+
+    for i in range(LINES):
+        req = MemRequest(cpu_id=0, kind=AccessKind.STORE,
+                         addr=BUFFER + i * 64, is_instr=False,
+                         done=store_done, node=0)
+        req.issue_time = system.sim.now
+        pending[0] += 1
+        proc.issue_miss(req, RequestType.READ_EXCLUSIVE)
+    system.sim.run()
+    print(f"CPU dirtied {LINES} buffer lines in the processing node's L1")
+
+    # 2. device DMA-read: coherent fetch of the dirty data
+    done_reads = []
+    t_read = io.pci.dma(BUFFER, lines=LINES, is_write=False,
+                        on_done=done_reads.append)
+    system.sim.run()
+    versions = [io.pci.dl1.peek(BUFFER + i * 64).version
+                for i in range(LINES)]
+    print(f"DMA read : {t_read.done_lines} lines in "
+          f"{(t_read.end_ps - t_read.start_ps) / 1000:.0f} ns — every line "
+          f"carried the CPU's write (versions {set(versions)})")
+
+    # 3. device DMA-write with completion interrupt
+    t_write = io.pci.dma(RESULT, lines=LINES, is_write=True,
+                         interrupt_vector=9)
+    system.sim.run()
+    print(f"DMA write: {t_write.done_lines} lines in "
+          f"{(t_write.end_ps - t_write.start_ps) / 1000:.0f} ns "
+          f"(wh64 — no fetch of old contents)")
+    sc = io.chip.syscontrol
+    print(f"interrupt: vector 9 pending at the I/O node "
+          f"(mask {sc.read_register(3):#x})")
+
+    # 4. the I/O node's driver CPU handles completion locally
+    io.cpu.attach(WorkloadThread(iter(
+        [(200, AccessKind.LOAD, RESULT + i * 64, True) for i in range(4)])))
+    io.cpu.start()
+    system.sim.run()
+    print(f"driver CPU on the I/O node touched the result buffer "
+          f"locally: {io.cpu.misses} misses, "
+          f"{io.cpu.stall_on_chip_ps / 1000:.0f} ns on-chip stall")
+
+    checker.verify_quiesced()
+    print("\ncoherence checker: device and CPUs stayed coherent throughout")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Calibration helper: run OLTP across configs and print paper-target ratios."""
+import sys
+import time
+
+from repro.core import PiranhaSystem, preset
+from repro.workloads.oltp import OltpWorkload, OltpParams
+
+
+def run(cfg_name, params, cpus=None):
+    cfg = preset(cfg_name)
+    if cpus:
+        cfg = cfg.with_cpus(cpus)
+    wl = OltpWorkload(params, cpus_per_node=cfg.cpus, num_nodes=1)
+    sysm = PiranhaSystem(cfg, num_nodes=1)
+    sysm.attach_workload(wl)
+    t0 = time.time()
+    sysm.run_to_completion()
+    s = sysm.execution_summary()
+    mb = sysm.miss_breakdown()
+    tot = sum(mb.values()) or 1
+    time_per_txn = max(c.total_ps for c in sysm.all_cpus()) / params.transactions
+    tps = cfg.cpus * 1e12 / time_per_txn
+    cpu0 = next(iter(sysm.all_cpus()))
+    print(f"{cfg_name:4s}x{cfg.cpus}: t/txn={time_per_txn/1000:7.1f}ns "
+          f"busy={s['busy_ps']/s['total_ps']:.2f} l2={s['l2_stall_ps']/s['total_ps']:.2f} "
+          f"mem={s['mem_stall_ps']/s['total_ps']:.2f} "
+          f"miss[hit={mb['l2_hit']/tot:.2f} fwd={mb['l2_fwd']/tot:.2f} mem={mb['l2_miss']/tot:.2f}] "
+          f"I/M={cpu0.instructions/max(1,cpu0.misses):.1f} wall={time.time()-t0:.0f}s")
+    return tps
+
+
+def main():
+    kwargs = {}
+    for arg in sys.argv[1:]:
+        k, v = arg.split("=")
+        kwargs[k] = type(getattr(OltpParams(), k))(eval(v))
+    params = OltpParams(**kwargs)
+    results = {}
+    for name in ("P1", "P2", "P4", "P8", "OOO", "INO", "P8F"):
+        results[name] = run(name, params)
+    r = results
+    print(f"\nOOO/P1 = {r['OOO']/r['P1']:.2f} (2.3)   INO/P1 = {r['INO']/r['P1']:.2f} (1.6)")
+    print(f"P8/P1  = {r['P8']/r['P1']:.2f} (~7)    P8/OOO = {r['P8']/r['OOO']:.2f} (2.9)")
+    print(f"P8F/OOO= {r['P8F']/r['OOO']:.2f} (5.0)  P2/P1={r['P2']/r['P1']:.2f} P4/P1={r['P4']/r['P1']:.2f}")
+
+
+if __name__ == "__main__":
+    main()

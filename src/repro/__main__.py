@@ -1,0 +1,159 @@
+"""Command-line entry point: ``python -m repro``.
+
+Runs one workload on one configuration and prints the standard report::
+
+    python -m repro run --config P8 --workload oltp
+    python -m repro run --config P4 --nodes 4 --workload oltp --check
+    python -m repro table1
+    python -m repro floorplan
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .area import floorplan_summary
+from .core import CoherenceChecker, PRESETS, PiranhaSystem, preset, table1
+from .harness.report import breakdown_bar, format_table
+from .workloads import (
+    DssParams,
+    DssWorkload,
+    MicroParams,
+    MigratoryWrites,
+    OltpParams,
+    OltpWorkload,
+    TpccWorkload,
+)
+from .workloads.web import WebParams, WebWorkload
+
+WORKLOADS = {
+    "oltp": lambda cpus, nodes, scale: OltpWorkload(
+        _scaled_oltp(scale), cpus_per_node=cpus, num_nodes=nodes),
+    "dss": lambda cpus, nodes, scale: DssWorkload(
+        DssParams(rows=max(40, int(260 * scale))),
+        cpus_per_node=cpus, num_nodes=nodes),
+    "tpcc": lambda cpus, nodes, scale: TpccWorkload(
+        cpus_per_node=cpus, num_nodes=nodes),
+    "web": lambda cpus, nodes, scale: WebWorkload(
+        WebParams(queries=max(40, int(150 * scale))),
+        cpus_per_node=cpus, num_nodes=nodes),
+    "migratory": lambda cpus, nodes, scale: MigratoryWrites(
+        MicroParams(iterations=max(200, int(1000 * scale))),
+        cpus_per_node=cpus, num_nodes=nodes),
+}
+
+
+def _scaled_oltp(scale: float) -> OltpParams:
+    return OltpParams(
+        transactions=max(20, int(80 * scale)),
+        warmup_transactions=max(40, int(150 * scale)),
+    )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """``run``: simulate one workload on one configuration."""
+    config = preset(args.config)
+    checker = CoherenceChecker() if args.check else None
+    system = PiranhaSystem(config, num_nodes=args.nodes, checker=checker)
+    workload = WORKLOADS[args.workload](config.cpus, args.nodes, args.scale)
+    system.attach_workload(workload)
+    print(f"simulating {args.workload} on {args.nodes} x {config.name} "
+          f"({config.cpus * args.nodes} CPUs) ...")
+    finish = system.run_to_completion()
+    if checker is not None:
+        checker.verify_quiesced()
+        for node in system.nodes:
+            node.audit_duplicate_tags()
+        print("coherence checker + duplicate-tag audit: OK")
+    summary = system.execution_summary()
+    total = summary["total_ps"] or 1
+    print(f"\nsimulated time : {finish / 1e6:.1f} us")
+    print(f"instructions   : {summary['instructions']:,}")
+    print(breakdown_bar(f"{config.name}/{args.workload}",
+                        summary["busy_ps"] / total,
+                        summary["l2_stall_ps"] / total,
+                        summary["mem_stall_ps"] / total))
+    mb = system.miss_breakdown()
+    misses = sum(mb.values()) or 1
+    print(f"L1 misses: {mb['l2_hit'] / misses:.0%} L2 hit, "
+          f"{mb['l2_fwd'] / misses:.0%} L1-to-L1 forward, "
+          f"{mb['l2_miss'] / misses:.0%} memory")
+    if args.report:
+        from .harness.perfmon import render_report, system_report
+
+        print()
+        print(render_report(system_report(system)))
+    return 0
+
+
+def cmd_table1(_args: argparse.Namespace) -> int:
+    """``table1``: print the regenerated Table 1."""
+    table = table1()
+    params = list(next(iter(table.values())).keys())
+    rows = [[p] + [table[c][p] for c in ("P8", "OOO", "P8F")] for p in params]
+    print(format_table(["Parameter", "P8", "OOO", "P8F"], rows,
+                       title="Table 1"))
+    return 0
+
+
+def cmd_floorplan(_args: argparse.Namespace) -> int:
+    """``floorplan``: print the Figure 9 area budget."""
+    summary = floorplan_summary(preset("P8"))
+    rows = [[m.name, m.count, f"{m.total_mm2:.1f}"]
+            for m in summary["modules"]]
+    print(format_table(["module", "count", "mm^2"], rows,
+                       title="Figure 9 floor-plan"))
+    print(f"\ncores + caches: {summary['cores_and_caches_fraction']:.0%} "
+          f"of {summary['total_mm2']:.0f} mm^2")
+    return 0
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    """``list``: show available configurations and workloads."""
+    print("configurations:", ", ".join(sorted(PRESETS)))
+    print("workloads     :", ", ".join(sorted(WORKLOADS)))
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Piranha (ISCA 2000) reproduction simulator")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="simulate a workload")
+    run_p.add_argument("--config", default="P8", choices=sorted(PRESETS))
+    run_p.add_argument("--workload", default="oltp",
+                       choices=sorted(WORKLOADS))
+    run_p.add_argument("--nodes", type=int, default=1)
+    run_p.add_argument("--scale", type=float, default=1.0,
+                       help="workload size multiplier")
+    run_p.add_argument("--check", action="store_true",
+                       help="run with the coherence checker")
+    run_p.add_argument("--report", action="store_true",
+                       help="print the full per-module performance report")
+    run_p.set_defaults(fn=cmd_run)
+
+    sub.add_parser("table1", help="print Table 1").set_defaults(fn=cmd_table1)
+    sub.add_parser("floorplan",
+                   help="print the Figure 9 area budget").set_defaults(
+        fn=cmd_floorplan)
+    sub.add_parser("list", help="list configs/workloads").set_defaults(
+        fn=cmd_list)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # output piped into a pager/head that closed early — not an error
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

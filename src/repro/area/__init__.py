@@ -1,0 +1,19 @@
+"""Area / floor-plan model (Figure 9)."""
+
+from .floorplan import (
+    ARRAY_OVERHEAD,
+    LOGIC_GATE_UM2,
+    SRAM_CELL_UM2,
+    ModuleArea,
+    estimate_modules,
+    floorplan_summary,
+)
+
+__all__ = [
+    "ARRAY_OVERHEAD",
+    "LOGIC_GATE_UM2",
+    "SRAM_CELL_UM2",
+    "ModuleArea",
+    "estimate_modules",
+    "floorplan_summary",
+]

@@ -1,0 +1,111 @@
+"""Area model and floor-plan accounting (Figure 9 and Section 5).
+
+The paper's floor-plan dedicates roughly 75% of the Piranha processing
+node's area to the Alpha cores and the L1/L2 caches, with the remainder
+split among the memory controllers, intra-chip interconnect, router and
+protocol engines.  The prototype targets IBM's SA-27E 0.18 um ASIC process
+(high-density SRAM cells of ~4.2 um^2 and 81 ps worst-case unloaded 2-input
+NAND delays).
+
+This module reproduces the accounting: per-module area estimates derived
+from SRAM bit counts plus synthesized-logic allowances, rolled up into the
+Figure 9 budget.  Absolute values are estimates (the paper publishes no
+table of module areas); the *shares* are the reproducible quantity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.config import ChipConfig
+
+#: SA-27E high-density SRAM cell (um^2/bit), Section 5 / reference [6].
+SRAM_CELL_UM2 = 4.2
+#: effective area per synthesized logic gate including routing (um^2)
+LOGIC_GATE_UM2 = 50.0
+#: SRAM array overhead (decoders, sense amps, wordline drivers)
+ARRAY_OVERHEAD = 1.35
+
+
+def _sram_mm2(bits: float) -> float:
+    return bits * SRAM_CELL_UM2 * ARRAY_OVERHEAD / 1e6
+
+
+def _logic_mm2(gates: float) -> float:
+    return gates * LOGIC_GATE_UM2 / 1e6
+
+
+@dataclass(frozen=True)
+class ModuleArea:
+    name: str
+    group: str          # "cpu", "cache", "memory", "interconnect", "engine", "misc"
+    area_mm2: float
+    count: int = 1
+
+    @property
+    def total_mm2(self) -> float:
+        return self.area_mm2 * self.count
+
+
+def estimate_modules(config: ChipConfig) -> List[ModuleArea]:
+    """Per-module area estimates for one processing node."""
+    l1_bits = config.l1.size_bytes * 8
+    # tag + state per line: ~36 bits for a 40-bit physical address
+    l1_tag_bits = (config.l1.size_bytes // 64) * 36
+    l1_area = _sram_mm2(l1_bits + l1_tag_bits) + _logic_mm2(25_000)
+
+    # single-issue in-order 8-stage core w/ FP: ~250k gates synthesized
+    cpu_gates = 250_000 if config.core.model == "inorder" else 1_200_000
+    cpu_area = _logic_mm2(cpu_gates)
+
+    l2_bank_bytes = config.l2.size_bytes // config.l2.banks
+    l2_bits = l2_bank_bytes * 8
+    l2_tag_bits = (l2_bank_bytes // 64) * 40
+    # duplicate L1 tags for the bank's share of lines (Section 2.3)
+    dup_bits = (config.l1.size_bytes // 64) * 2 * config.cpus * 39 // config.l2.banks
+    l2_area = _sram_mm2(l2_bits + l2_tag_bits + dup_bits) + _logic_mm2(80_000)
+
+    mc_area = _logic_mm2(60_000) + 1.2  # engine + Rambus RAC macro
+
+    engine_area = (
+        _sram_mm2(1024 * 21)            # microcode store
+        + _sram_mm2(16 * 512)            # TSRF
+        + _logic_mm2(90_000)
+    )
+
+    ics_area = _logic_mm2(150_000) + 2.0     # datapaths along the spine
+    router_area = _logic_mm2(200_000) + 1.5  # buffers + channel interfaces
+    queue_area = _sram_mm2(64 * 640) + _logic_mm2(30_000)
+    sc_area = _logic_mm2(50_000)
+
+    return [
+        ModuleArea("CPU core", "cpu", cpu_area, config.cpus),
+        ModuleArea("iL1", "cache", l1_area, config.cpus),
+        ModuleArea("dL1", "cache", l1_area, config.cpus),
+        ModuleArea("L2 bank", "cache", l2_area, config.l2.banks),
+        ModuleArea("Memory controller", "memory", mc_area, config.l2.banks),
+        ModuleArea("Home engine", "engine", engine_area),
+        ModuleArea("Remote engine", "engine", engine_area),
+        ModuleArea("Intra-chip switch", "interconnect", ics_area),
+        ModuleArea("Router", "interconnect", router_area),
+        ModuleArea("Input/output queues", "interconnect", queue_area),
+        ModuleArea("System control", "misc", sc_area),
+    ]
+
+
+def floorplan_summary(config: ChipConfig) -> Dict[str, object]:
+    """Roll-up: Figure 9's headline is that ~75% of the area is CPUs +
+    L1/L2 caches."""
+    modules = estimate_modules(config)
+    total = sum(m.total_mm2 for m in modules)
+    by_group: Dict[str, float] = {}
+    for m in modules:
+        by_group[m.group] = by_group.get(m.group, 0.0) + m.total_mm2
+    cores_and_caches = by_group.get("cpu", 0.0) + by_group.get("cache", 0.0)
+    return {
+        "modules": modules,
+        "total_mm2": total,
+        "by_group_mm2": by_group,
+        "cores_and_caches_fraction": cores_and_caches / total,
+    }

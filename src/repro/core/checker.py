@@ -1,0 +1,137 @@
+"""Global coherence invariant checker.
+
+The paper verifies its coherence protocols with formal methods; here a
+runtime checker audits every fill and invalidation across all nodes:
+
+* **single writer per node**: an exclusive/modified fill must be the only
+  on-node copy (on-chip invalidations are atomic over the ICS);
+* **eager-reply discipline**: when a node gains an exclusive copy, copies
+  at *other* nodes may transiently survive (eager exclusive replies grant
+  ownership before invalidation acks return) but must be invalidated
+  before the system quiesces, and may never be upgraded meanwhile;
+* **version monotonicity**: fill versions never regress below the line's
+  committed version.
+
+Tests run simulations with the checker attached and call
+:meth:`CoherenceChecker.verify_quiesced` at the end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from .messages import MESI
+
+
+class CoherenceViolation(AssertionError):
+    """A protocol invariant was broken."""
+
+
+Holder = Tuple[int, int]  # (node, cache_id)
+
+
+@dataclass
+class LineAudit:
+    holders: Dict[Holder, MESI] = field(default_factory=dict)
+    committed_version: int = 0
+    #: holders invalidated-in-flight by an eager exclusive grant
+    stale: Set[Holder] = field(default_factory=set)
+
+
+class CoherenceChecker:
+    """Audits fills/invalidations across every node of a system."""
+
+    def __init__(self) -> None:
+        self.lines: Dict[int, LineAudit] = {}
+        self.fills = 0
+        self.invalidations = 0
+
+    def _audit(self, line: int) -> LineAudit:
+        audit = self.lines.get(line)
+        if audit is None:
+            audit = LineAudit()
+            self.lines[line] = audit
+        return audit
+
+    def on_fill(self, node: int, cache_id: int, line: int, state: MESI,
+                version: int) -> None:
+        """Audit one cache fill against the invariants."""
+        self.fills += 1
+        audit = self._audit(line)
+        holder = (node, cache_id)
+        if holder in audit.stale:
+            # A refill can legitimately race ahead of the invalidation that
+            # made the copy stale (unordered network); the fresh fill must
+            # carry the newer epoch, and the late invalidation is epoch-
+            # filtered at the receiving bank.
+            if version < audit.committed_version:
+                raise CoherenceViolation(
+                    f"line {line:#x}: {holder} refilled a stale copy with "
+                    f"an old version {version} < {audit.committed_version}"
+                )
+            audit.stale.discard(holder)
+        if version < audit.committed_version and state in (MESI.MODIFIED,):
+            raise CoherenceViolation(
+                f"line {line:#x}: exclusive fill with regressed version "
+                f"{version} < {audit.committed_version}"
+            )
+        if state in (MESI.EXCLUSIVE, MESI.MODIFIED):
+            for other, other_state in list(audit.holders.items()):
+                if other == holder:
+                    continue
+                if other[0] == node:
+                    raise CoherenceViolation(
+                        f"line {line:#x}: node {node} granted "
+                        f"{state.name} while {other} still holds "
+                        f"{other_state.name} on the same node"
+                    )
+                # Cross-node survivors are the eager-reply transient; they
+                # must die before quiesce.
+                audit.stale.add(other)
+                del audit.holders[other]
+            audit.committed_version = max(audit.committed_version, version)
+        audit.holders[holder] = state
+
+    def on_downgrade(self, node: int, cache_id: int, line: int) -> None:
+        """An exclusive/modified holder dropped to SHARED."""
+        audit = self.lines.get(line)
+        if audit is None:
+            return
+        holder = (node, cache_id)
+        if holder in audit.holders:
+            audit.holders[holder] = MESI.SHARED
+
+    def on_invalidate(self, node: int, cache_id: int, line: int) -> None:
+        """A holder's copy was invalidated (or silently evicted)."""
+        self.invalidations += 1
+        audit = self.lines.get(line)
+        if audit is None:
+            return
+        holder = (node, cache_id)
+        audit.holders.pop(holder, None)
+        audit.stale.discard(holder)
+
+    def verify_quiesced(self) -> None:
+        """Assert end-state invariants once the simulation has drained."""
+        for line, audit in self.lines.items():
+            if audit.stale:
+                raise CoherenceViolation(
+                    f"line {line:#x}: stale copies never invalidated: "
+                    f"{sorted(audit.stale)}"
+                )
+            exclusive = [
+                h for h, s in audit.holders.items()
+                if s in (MESI.EXCLUSIVE, MESI.MODIFIED)
+            ]
+            if len(exclusive) > 1:
+                raise CoherenceViolation(
+                    f"line {line:#x}: multiple exclusive holders "
+                    f"{exclusive}"
+                )
+            if exclusive and len(audit.holders) > 1:
+                others = set(audit.holders) - set(exclusive)
+                raise CoherenceViolation(
+                    f"line {line:#x}: exclusive holder {exclusive[0]} "
+                    f"coexists with {sorted(others)}"
+                )

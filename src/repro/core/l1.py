@@ -1,0 +1,199 @@
+"""First-level instruction and data caches (Section 2.1).
+
+64 KB, two-way set-associative, 64-byte lines, virtually indexed /
+physically tagged, single-cycle, *blocking*.  Each line carries a 2-bit
+MESI state.  The instruction and data caches share virtually the same
+design, so — unlike other Alpha implementations — the instruction cache is
+kept coherent by hardware, which is what makes the L2's no-inclusion policy
+uniform across I and D streams.
+
+The L1 is a passive structure in this model: the CPU calls :meth:`lookup`
+(hits are folded into CPU time), and the chip's transaction flow calls
+:meth:`fill` / :meth:`invalidate` / :meth:`downgrade`.  Ownership (used by
+the L2's writeback-filtering policy) is a per-line bit granted by the L2 at
+fill time.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from ..mem.addr import LINE_SHIFT
+from .config import L1Params
+from .messages import MESI, AccessKind
+
+
+@dataclass
+class L1Line:
+    """One resident cache line."""
+
+    tag: int
+    state: MESI
+    owner: bool = False       # L2-granted ownership (write-back filter)
+    dirty: bool = False
+    version: int = 0          # data-token for the coherence checker
+
+
+@dataclass
+class Eviction:
+    """Information about a victim line handed back to the caller."""
+
+    addr: int
+    state: MESI
+    owner: bool
+    dirty: bool
+    version: int
+
+
+class LookupResult:
+    """Outcome of a CPU-side lookup."""
+
+    __slots__ = ("hit", "needs_upgrade", "state")
+
+    def __init__(self, hit: bool, needs_upgrade: bool, state: MESI) -> None:
+        self.hit = hit
+        self.needs_upgrade = needs_upgrade
+        self.state = state
+
+
+class L1Cache:
+    """One first-level cache (instruction or data)."""
+
+    def __init__(self, params: L1Params, cpu_id: int, is_instr: bool) -> None:
+        self.params = params
+        self.cpu_id = cpu_id
+        self.is_instr = is_instr
+        self.num_sets = params.sets
+        self.assoc = params.assoc
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError(f"set count must be a power of two, got {self.num_sets}")
+        self._set_mask = self.num_sets - 1
+        # Each set is an OrderedDict tag -> L1Line; most recent at the end.
+        self.sets = [OrderedDict() for _ in range(self.num_sets)]
+        self.n_lookups = 0
+        self.n_hits = 0
+        self.n_upgrades = 0
+
+    # -- geometry ----------------------------------------------------------
+
+    def _index(self, addr: int) -> int:
+        return (addr >> LINE_SHIFT) & self._set_mask
+
+    def _tag(self, addr: int) -> int:
+        return addr >> LINE_SHIFT
+
+    # -- CPU side ------------------------------------------------------------
+
+    def lookup(self, addr: int, kind: AccessKind) -> LookupResult:
+        """CPU access: hit test + LRU update + dirty marking on store hits.
+
+        A store that finds the line SHARED is a *needs_upgrade* miss: the
+        data is present but an EXCLUSIVE coherence request must still be
+        issued (Section 2.5.3's third request type).
+        """
+        self.n_lookups += 1
+        line = self.peek(addr)
+        if line is None or line.state == MESI.INVALID:
+            return LookupResult(False, False, MESI.INVALID)
+        lru_set = self.sets[self._index(addr)]
+        lru_set.move_to_end(line.tag)
+        is_write = kind in (AccessKind.STORE, AccessKind.STORE_COND, AccessKind.WH64)
+        if is_write:
+            if line.state == MESI.SHARED:
+                self.n_upgrades += 1
+                return LookupResult(False, True, MESI.SHARED)
+            # E -> M transition is silent on-chip.
+            line.state = MESI.MODIFIED
+            line.dirty = True
+            line.version += 1
+        self.n_hits += 1
+        return LookupResult(True, False, line.state)
+
+    # -- chip side -----------------------------------------------------------
+
+    def peek(self, addr: int) -> Optional[L1Line]:
+        """Non-destructive lookup (no LRU update)."""
+        return self.sets[self._index(addr)].get(self._tag(addr))
+
+    def choose_victim(self, addr: int) -> Optional[int]:
+        """Line address that :meth:`fill` would evict, or None."""
+        lru_set = self.sets[self._index(addr)]
+        if self._tag(addr) in lru_set or len(lru_set) < self.assoc:
+            return None
+        victim_tag = next(iter(lru_set))
+        return victim_tag << LINE_SHIFT
+
+    def fill(
+        self,
+        addr: int,
+        state: MESI,
+        owner: bool,
+        version: int = 0,
+        dirty: bool = False,
+    ) -> Optional[Eviction]:
+        """Install a line, returning the eviction (if any) for the caller
+        (the L2 transaction flow) to route: owner lines write back to the
+        L2, non-owner lines just update the duplicate tags."""
+        if state == MESI.INVALID:
+            raise ValueError("cannot fill an INVALID line")
+        lru_set = self.sets[self._index(addr)]
+        tag = self._tag(addr)
+        evicted: Optional[Eviction] = None
+        existing = lru_set.get(tag)
+        if existing is not None:
+            existing.state = state
+            existing.owner = owner
+            existing.dirty = dirty or existing.dirty
+            existing.version = max(version, existing.version)
+            lru_set.move_to_end(tag)
+            return None
+        if len(lru_set) >= self.assoc:
+            victim_tag, victim = lru_set.popitem(last=False)
+            evicted = Eviction(
+                addr=victim_tag << LINE_SHIFT,
+                state=victim.state,
+                owner=victim.owner,
+                dirty=victim.dirty,
+                version=victim.version,
+            )
+        lru_set[tag] = L1Line(tag=tag, state=state, owner=owner,
+                              dirty=dirty, version=version)
+        return evicted
+
+    def invalidate(self, addr: int) -> Optional[L1Line]:
+        """Remove a line (on-chip invalidations need no ack: the intra-chip
+        switch's ordering guarantees make them safe — Section 2.3).
+        Returns the removed line so the caller can recover dirty data."""
+        lru_set = self.sets[self._index(addr)]
+        return lru_set.pop(self._tag(addr), None)
+
+    def downgrade(self, addr: int) -> Optional[L1Line]:
+        """M/E -> S transition (remote or local read of an exclusive line).
+        Returns the line (with its pre-downgrade dirtiness preserved for
+        the caller to write back if needed)."""
+        line = self.peek(addr)
+        if line is None:
+            return None
+        line.state = MESI.SHARED
+        return line
+
+    def set_owner(self, addr: int, owner: bool) -> None:
+        """L2 moves the ownership token between sharers."""
+        line = self.peek(addr)
+        if line is not None:
+            line.owner = owner
+
+    # -- stats -----------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        return self.n_hits / self.n_lookups if self.n_lookups else 0.0
+
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self.sets)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        flavour = "iL1" if self.is_instr else "dL1"
+        return f"{flavour}(cpu={self.cpu_id}, lines={self.resident_lines()})"

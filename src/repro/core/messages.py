@@ -1,0 +1,136 @@
+"""Memory-system message and transaction types shared by core modules."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+class AccessKind(enum.IntEnum):
+    """CPU-issued memory access kinds."""
+
+    IFETCH = 0
+    LOAD = 1
+    STORE = 2
+    #: Alpha ``wh64`` write hint: the processor will write the whole cache
+    #: line, so the protocol's *exclusive-without-data* request type can
+    #: skip fetching the line's current contents (Section 2.5.3).
+    WH64 = 3
+    #: Load-locked / store-conditional (Alpha ldx_l/stx_c) used by the ISA
+    #: examples; they follow the LOAD/STORE coherence paths.
+    LOAD_LOCKED = 4
+    STORE_COND = 5
+    #: Alpha memory barrier: with eager exclusive replies (ownership
+    #: granted before all invalidations complete), an MB is what waits for
+    #: the outstanding invalidation acknowledgements (Section 2.5.3).
+    MEMBAR = 6
+
+
+class MESI(enum.IntEnum):
+    """Line states kept in the 2-bit per-line field of every L1 (§2.1)."""
+
+    INVALID = 0
+    SHARED = 1
+    EXCLUSIVE = 2
+    MODIFIED = 3
+
+
+class ReplySource(enum.IntEnum):
+    """Where an access was ultimately serviced — drives the Figure 5
+    stall breakdown and the Figure 6b miss decomposition."""
+
+    L1_HIT = 0
+    L2_HIT = 1        # serviced by the shared L2
+    L2_FWD = 2        # forwarded to and serviced by another on-chip L1
+    LOCAL_MEM = 3     # home-local memory
+    REMOTE_MEM = 4    # 2-hop remote home memory
+    REMOTE_DIRTY = 5  # 3-hop remote dirty owner
+
+
+#: Sources that count as on-chip L2-level service in Figure 5's breakdown.
+ON_CHIP_SOURCES = frozenset({ReplySource.L2_HIT, ReplySource.L2_FWD})
+#: Sources that count as L2 misses (memory service).
+MEMORY_SOURCES = frozenset(
+    {ReplySource.LOCAL_MEM, ReplySource.REMOTE_MEM, ReplySource.REMOTE_DIRTY}
+)
+
+
+class RequestType(enum.IntEnum):
+    """Coherence request types (Section 2.5.3)."""
+
+    READ = 0
+    READ_EXCLUSIVE = 1
+    EXCLUSIVE = 2           # upgrade: requester already holds a shared copy
+    EXCLUSIVE_NO_DATA = 3   # wh64
+    WRITEBACK = 4
+
+
+def request_for(kind: AccessKind, current: MESI) -> RequestType:
+    """Map a CPU access that missed (or needs an upgrade) in its L1 to the
+    coherence request type it must issue."""
+    if kind in (AccessKind.IFETCH, AccessKind.LOAD, AccessKind.LOAD_LOCKED):
+        return RequestType.READ
+    if kind == AccessKind.WH64:
+        return RequestType.EXCLUSIVE_NO_DATA
+    if current == MESI.SHARED:
+        return RequestType.EXCLUSIVE
+    return RequestType.READ_EXCLUSIVE
+
+
+_txn_ids = itertools.count(1)
+
+
+@dataclass
+class MemRequest:
+    """One CPU access travelling through the memory system.
+
+    ``done(latency_ps, source)`` is invoked exactly once when the access
+    completes; the issuing CPU uses it to account stall time.
+    """
+
+    cpu_id: int
+    kind: AccessKind
+    addr: int
+    is_instr: bool
+    done: Callable[[int, ReplySource], None]
+    node: int = 0
+    txn_id: int = field(default_factory=lambda: next(_txn_ids))
+    issue_time: int = 0
+    #: filled in when the request completes (for tracing/tests)
+    source: Optional[ReplySource] = None
+
+    def complete(self, now_ps: int, source: ReplySource) -> None:
+        if self.source is not None:
+            raise RuntimeError(f"request {self.txn_id} completed twice")
+        self.source = source
+        self.done(now_ps - self.issue_time, source)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MemRequest(cpu={self.cpu_id}, {self.kind.name}, "
+            f"addr={self.addr:#x}, txn={self.txn_id})"
+        )
+
+
+class CacheId:
+    """Identity of one first-level cache: (cpu index, instruction/data).
+
+    Encoded as ``cpu * 2 + (0 if data else 1)`` so dup-tag sharer sets can
+    be small integers/bitmasks.
+    """
+
+    __slots__ = ()
+
+    @staticmethod
+    def encode(cpu: int, is_instr: bool) -> int:
+        return cpu * 2 + (1 if is_instr else 0)
+
+    @staticmethod
+    def cpu(cache_id: int) -> int:
+        return cache_id // 2
+
+    @staticmethod
+    def is_instr(cache_id: int) -> bool:
+        return bool(cache_id & 1)

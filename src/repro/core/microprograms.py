@@ -1,0 +1,271 @@
+"""The home- and remote-engine protocol microprograms (Sections 2.5.1/2.5.3).
+
+These are the actual coherence flows of the inter-node protocol, written in
+the symbolic microcode assembly of :mod:`repro.core.microcode`.  The control
+flow — which messages are sent, in what order, and where threads block —
+lives here; the binding of symbolic SEND/SET/TEST names to node behaviour
+lives in :mod:`repro.core.protocol_engine`.
+
+Protocol properties encoded below:
+
+* four request types: read, read-exclusive, exclusive (upgrade) and
+  exclusive-without-data (``wh64``);
+* clean-exclusive optimisation (read returns an exclusive copy when there
+  are no other sharers);
+* reply forwarding from a remote owner (3-hop transactions complete
+  without an "ownership change" confirmation to the home — the home's
+  directory is updated *immediately*);
+* eager exclusive replies (ownership granted before invalidations
+  complete; acknowledgements are gathered at the requesting node);
+* no NAKs and no retries anywhere: forwarded requests are guaranteed
+  serviceable (owners keep data valid until the home acks a write-back;
+  early-arriving forwards wait on the outstanding request's state);
+* cruise-missile invalidates for large sharer sets.
+
+A remote read costs exactly four instructions at the requester's remote
+engine — ``SEND, RECEIVE, TEST, LSEND`` — matching the paper's example.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..interconnect.packets import PacketType
+from .microcode import Assembler, Instr, Op, Program
+
+# ---------------------------------------------------------------------------
+# Local message kinds (LRECEIVE dispatch codes and engine entry selectors).
+# The 4-bit dispatch field allows 16 kinds per engine.
+# ---------------------------------------------------------------------------
+
+LOCAL_MSG = {
+    # bank -> remote engine (new transactions)
+    "NEW_READ": 0,
+    "NEW_READX": 1,        # read-exclusive / upgrade / wh64 (req_type in TSRF)
+    "NEW_WB": 2,           # L2 victim write-back to a remote home
+    # bank -> engine (responses to LSENDs)
+    "BANK_DATA": 3,        # data retrieved for a forwarded request
+    "HOME_CLEAN": 4,       # home lookup: no remote owner
+    "HOME_DIRTY": 5,       # home lookup: a remote node owns the line dirty
+    "BANK_DONE": 6,        # completion of a bank-side action (mem write...)
+    # bank -> home engine (local requests that need remote action)
+    "NEW_LOCAL_FETCH": 7,  # local read/readx found dir EXCLUSIVE(remote)
+    "NEW_LOCAL_INVAL": 8,  # local exclusive grant needs remote invalidations
+}
+
+#: External dispatch codes are simply the 4-bit PacketType values.
+EXT = PacketType
+
+
+def _receive(label_map: Dict[int, str], label: str = None) -> Instr:
+    return Instr(Op.RECEIVE, label=label, targets=dict(label_map))
+
+
+def _lreceive(label_map: Dict[int, str], label: str = None) -> Instr:
+    return Instr(Op.LRECEIVE, label=label, targets=dict(label_map))
+
+
+# ---------------------------------------------------------------------------
+# Remote engine: imports memory whose home is remote.
+# ---------------------------------------------------------------------------
+
+def build_remote_program() -> Program:
+    asm = Assembler("remote-engine")
+    I = Instr
+    code = [
+        # ---- read to a remote home: the paper's 4-instruction example ----
+        I(Op.SEND, "req_to_home", label="re_read"),
+        _receive({
+            int(EXT.DATA_REPLY): "re_read_test",
+            int(EXT.DATA_EXCLUSIVE_REPLY): "re_read_test",
+        }),
+        I(Op.TEST, "reply_was_exclusive", label="re_read_test",
+          targets={0: "re_read_ls_s", None: "re_read_ls_e"}),
+        I(Op.LSEND, "fill_shared", label="re_read_ls_s", next="end"),
+        I(Op.LSEND, "fill_exclusive", label="re_read_ls_e", next="end"),
+
+        # ---- read-exclusive / upgrade / wh64 to a remote home ----
+        I(Op.SEND, "req_to_home", label="re_readx"),
+        _receive({
+            int(EXT.DATA_EXCLUSIVE_REPLY): "re_readx_data",
+            int(EXT.ACK_REPLY): "re_readx_data",      # upgrade grant, no data
+            int(EXT.INVAL_ACK): "re_readx_early_ack",  # ack raced ahead of data
+        }, label="re_readx_wait"),
+        I(Op.SET, "count_ack", label="re_readx_early_ack", next="re_readx_wait"),
+        I(Op.SET, "load_reply_state", label="re_readx_data"),
+        I(Op.LSEND, "fill_modified"),            # eager exclusive reply
+        I(Op.TEST, "acks_pending", label="re_readx_test",
+          targets={0: "re_readx_done", None: "re_gather"}),
+        _receive({int(EXT.INVAL_ACK): "re_gather_count"}, label="re_gather"),
+        I(Op.SET, "count_ack", label="re_gather_count", next="re_readx_test"),
+        I(Op.SET, "acks_complete", label="re_readx_done", next="end"),
+
+        # ---- forwarded read: we own a dirty remote-home line ----
+        I(Op.LSEND, "bank_fetch_shared", label="re_fwd_read"),
+        _lreceive({LOCAL_MSG["BANK_DATA"]: "re_fwd_read_reply"}),
+        I(Op.SEND, "data_reply_to_requester", label="re_fwd_read_reply"),
+        I(Op.SEND, "sharing_wb_to_home", next="end"),
+
+        # ---- forwarded read-exclusive ----
+        I(Op.LSEND, "bank_fetch_inval", label="re_fwd_readx"),
+        _lreceive({LOCAL_MSG["BANK_DATA"]: "re_fwd_readx_reply"}),
+        I(Op.SEND, "data_excl_reply_to_requester", label="re_fwd_readx_reply",
+          next="end"),
+
+        # ---- plain invalidation of our shared copy ----
+        I(Op.LSEND, "bank_invalidate", label="re_inval"),
+        _lreceive({LOCAL_MSG["BANK_DONE"]: "re_inval_ack"}),
+        I(Op.SEND, "inval_ack_to_requester", label="re_inval_ack", next="end"),
+
+        # ---- cruise-missile invalidation visit ----
+        I(Op.LSEND, "bank_invalidate", label="re_cmi"),
+        _lreceive({LOCAL_MSG["BANK_DONE"]: "re_cmi_test"}),
+        I(Op.TEST, "cmi_more_stops", label="re_cmi_test",
+          targets={0: "re_cmi_last", None: "re_cmi_next"}),
+        I(Op.SEND, "cmi_to_next", label="re_cmi_next", next="end"),
+        I(Op.SEND, "inval_ack_to_requester", label="re_cmi_last", next="end"),
+
+        # ---- L2 victim write-back to a remote home ----
+        # The bank keeps the line valid in its write-back buffer until the
+        # home acknowledges (NAK-free guarantee).
+        I(Op.SEND, "wb_to_home", label="re_wb"),
+        _receive({int(EXT.WRITEBACK_ACK): "re_wb_release"}),
+        I(Op.LSEND, "release_wb_buffer", label="re_wb_release", next="end"),
+    ]
+    return asm.assemble(code)
+
+
+#: entry points: which label a newly allocated RE thread starts at,
+#: selected by the triggering message.
+REMOTE_ENTRY = {
+    ("local", LOCAL_MSG["NEW_READ"]): "re_read",
+    ("local", LOCAL_MSG["NEW_READX"]): "re_readx",
+    ("local", LOCAL_MSG["NEW_WB"]): "re_wb",
+    ("ext", int(EXT.FWD_READ)): "re_fwd_read",
+    ("ext", int(EXT.FWD_READ_EXCLUSIVE)): "re_fwd_readx",
+    ("ext", int(EXT.INVALIDATE)): "re_inval",
+    ("ext", int(EXT.CMI_INVALIDATE)): "re_cmi",
+}
+
+
+# ---------------------------------------------------------------------------
+# Home engine: exports memory whose home is the local node.
+# ---------------------------------------------------------------------------
+
+def build_home_program() -> Program:
+    asm = Assembler("home-engine")
+    I = Instr
+    code = [
+        # ---- remote READ arriving at home ----
+        I(Op.LSEND, "bank_home_lookup", label="he_read"),
+        _lreceive({
+            LOCAL_MSG["HOME_CLEAN"]: "he_read_clean",
+            LOCAL_MSG["HOME_DIRTY"]: "he_read_dirty",
+        }),
+        I(Op.TEST, "no_other_sharers", label="he_read_clean",
+          targets={0: "he_read_shared", None: "he_read_excl"}),
+        I(Op.SET, "dir_add_sharer", label="he_read_shared"),
+        I(Op.SEND, "data_reply"),
+        I(Op.LSEND, "dir_write", next="end"),
+        I(Op.SET, "dir_make_exclusive", label="he_read_excl"),  # clean-excl opt
+        I(Op.SEND, "data_excl_reply"),
+        I(Op.LSEND, "dir_write", next="end"),
+        # 3-hop: directory state changes immediately; no confirmation ever
+        # comes back (this is the no-"ownership change" property).
+        I(Op.SET, "dir_share_with_owner", label="he_read_dirty"),
+        I(Op.SEND, "fwd_read_to_owner"),
+        I(Op.LSEND, "dir_write", next="end"),
+
+        # ---- remote READ-EXCLUSIVE / EXCLUSIVE / wh64 arriving at home ----
+        I(Op.LSEND, "bank_home_lookup_x", label="he_readx"),
+        _lreceive({
+            LOCAL_MSG["HOME_CLEAN"]: "he_readx_clean",
+            LOCAL_MSG["HOME_DIRTY"]: "he_readx_dirty",
+        }),
+        I(Op.TEST, "has_remote_sharers", label="he_readx_clean",
+          targets={0: "he_readx_grant", None: "he_readx_invals"}),
+        I(Op.SET, "dir_make_exclusive", label="he_readx_grant"),
+        I(Op.SEND, "data_excl_reply"),
+        I(Op.LSEND, "dir_write", next="end"),
+        I(Op.TEST, "use_cmi", label="he_readx_invals",
+          targets={0: "he_inval_loop", None: "he_cmi_plan"}),
+        I(Op.SET, "next_sharer", label="he_inval_loop"),
+        I(Op.SEND, "inval_to_sharer"),
+        I(Op.TEST, "more_sharers",
+          targets={0: "he_readx_grant_acks", None: "he_inval_loop"}),
+        I(Op.SET, "plan_cmi", label="he_cmi_plan"),
+        I(Op.SET, "next_missile", label="he_cmi_loop"),
+        I(Op.SEND, "cmi_launch"),
+        I(Op.TEST, "more_missiles",
+          targets={0: "he_readx_grant_acks", None: "he_cmi_loop"}),
+        # eager exclusive reply: data + inval count; the *requester*
+        # gathers the acknowledgements.
+        I(Op.SET, "dir_make_exclusive", label="he_readx_grant_acks"),
+        I(Op.SEND, "data_excl_reply"),
+        I(Op.LSEND, "dir_write", next="end"),
+        I(Op.SET, "dir_make_exclusive", label="he_readx_dirty"),
+        I(Op.SEND, "fwd_readx_to_owner"),
+        I(Op.LSEND, "dir_write", next="end"),
+
+        # ---- write-back from a remote owner.  A *sharing* write-back
+        #      (data sent home by a forwarded read's owner) needs neither a
+        #      directory update nor an ack: the directory changed when the
+        #      home forwarded the request. ----
+        I(Op.LSEND, "bank_mem_write", label="he_wb"),
+        _lreceive({LOCAL_MSG["BANK_DONE"]: "he_wb_test"}),
+        I(Op.TEST, "is_sharing_wb", label="he_wb_test",
+          targets={0: "he_wb_ack", None: "he_sharing_done"}),
+        I(Op.SET, "dir_clear", label="he_wb_ack"),
+        I(Op.SEND, "wb_ack"),
+        I(Op.LSEND, "dir_write", next="end"),
+        I(Op.SET, "noop", label="he_sharing_done", next="end"),
+
+        # ---- local request found the directory EXCLUSIVE(remote):
+        #      3-hop fetch on behalf of a local CPU ----
+        I(Op.SET, "dir_share_with_owner", label="he_local_fetch"),
+        I(Op.SEND, "fwd_read_to_owner"),
+        I(Op.LSEND, "dir_write"),
+        _receive({
+            int(EXT.DATA_REPLY): "he_local_fill",
+            int(EXT.DATA_EXCLUSIVE_REPLY): "he_local_fill",
+        }),
+        I(Op.LSEND, "fill_local", label="he_local_fill", next="end"),
+
+        # ---- local exclusive grant needs remote invalidations; the grant
+        #      itself was eager (bank already completed the fill), this
+        #      thread drives invals and gathers the acks ----
+        # The remote-sharer hint can be stale (the sharers were invalidated
+        # by an interleaved transaction): re-check against the directory.
+        I(Op.TEST, "has_remote_sharers", label="he_local_inval",
+          targets={0: "he_li_dirw", None: "he_li_kinds"}),
+        I(Op.TEST, "use_cmi", label="he_li_kinds",
+          targets={0: "he_li_loop", None: "he_li_cmi_plan"}),
+        I(Op.SET, "next_sharer", label="he_li_loop"),
+        I(Op.SEND, "inval_to_sharer"),
+        I(Op.TEST, "more_sharers",
+          targets={0: "he_li_dirw", None: "he_li_loop"}),
+        I(Op.SET, "plan_cmi", label="he_li_cmi_plan"),
+        I(Op.SET, "next_missile", label="he_li_cmi_loop"),
+        I(Op.SEND, "cmi_launch"),
+        I(Op.TEST, "more_missiles",
+          targets={0: "he_li_dirw", None: "he_li_cmi_loop"}),
+        I(Op.SET, "dir_make_exclusive_local", label="he_li_dirw"),
+        I(Op.LSEND, "dir_write"),
+        I(Op.TEST, "acks_pending", label="he_li_test",
+          targets={0: "he_li_done", None: "he_li_gather"}),
+        _receive({int(EXT.INVAL_ACK): "he_li_count"}, label="he_li_gather"),
+        I(Op.SET, "count_ack", label="he_li_count", next="he_li_test"),
+        I(Op.SET, "acks_complete", label="he_li_done", next="end"),
+    ]
+    return asm.assemble(code)
+
+
+HOME_ENTRY = {
+    ("ext", int(EXT.READ)): "he_read",
+    ("ext", int(EXT.READ_EXCLUSIVE)): "he_readx",
+    ("ext", int(EXT.EXCLUSIVE)): "he_readx",
+    ("ext", int(EXT.EXCLUSIVE_NO_DATA)): "he_readx",
+    ("ext", int(EXT.WRITEBACK)): "he_wb",
+    ("local", LOCAL_MSG["NEW_LOCAL_FETCH"]): "he_local_fetch",
+    ("local", LOCAL_MSG["NEW_LOCAL_INVAL"]): "he_local_inval",
+}

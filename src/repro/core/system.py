@@ -1,0 +1,192 @@
+"""Glueless multi-node Piranha systems (Figure 3).
+
+A :class:`PiranhaSystem` builds N processing nodes (plus optional I/O
+nodes), the point-to-point interconnect between them, the per-node
+directory stores, and the shared authoritative memory image.  Single-node
+systems skip the network entirely (the protocol engines stay idle); the
+design allows glueless scaling to 1024 nodes with an arbitrary ratio of
+I/O to processing nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..interconnect.packets import Packet
+from ..interconnect.router import Router, RouterParams, build_routers
+from ..interconnect.topology import Topology, fully_connected, line, ring
+from ..mem.addr import AddressMap
+from ..sim.engine import Simulator
+from .checker import CoherenceChecker
+from .chip import PiranhaChip
+from .config import ChipConfig
+from .directory import DirectoryStore
+
+
+def default_topology(num_nodes: int) -> Topology:
+    """Pick a sensible default: all-to-all up to 5 nodes (one hop
+    everywhere, matching Table 1's flat remote latencies), a ring beyond."""
+    if num_nodes <= 1:
+        return line(1)
+    if num_nodes <= 5:
+        return fully_connected(num_nodes)
+    return ring(num_nodes)
+
+
+class PiranhaSystem:
+    """One or more Piranha nodes plus interconnect and memory state."""
+
+    def __init__(
+        self,
+        config: ChipConfig,
+        num_nodes: int = 1,
+        sim: Optional[Simulator] = None,
+        topology: Optional[Topology] = None,
+        checker: Optional[CoherenceChecker] = None,
+        router_params: Optional[RouterParams] = None,
+        home_granularity: int = 8192,
+        io_nodes: int = 0,
+    ) -> None:
+        from .iochip import IoNode
+        from ..interconnect.topology import attach_io_nodes
+
+        self.sim = sim or Simulator()
+        self.config = config
+        total_nodes = num_nodes + io_nodes
+        #: processing-node count; I/O nodes are numbered after these
+        self.num_proc_nodes = num_nodes
+        self.num_nodes = total_nodes
+        self.address_map = AddressMap(total_nodes, home_granularity)
+        if topology is None:
+            topology = default_topology(num_nodes)
+            if io_nodes:
+                attach_io_nodes(topology, io_nodes)
+        self.topology = topology
+        self.checker = checker
+        #: authoritative memory image: line -> committed version
+        self.mem_versions: Dict[int, int] = {}
+        self.dirstores: List[DirectoryStore] = [
+            DirectoryStore(n, total_nodes) for n in range(total_nodes)
+        ]
+        self.nodes: List[PiranhaChip] = [
+            PiranhaChip(self.sim, config, self, node_id=n)
+            for n in range(num_nodes)
+        ]
+        self.io: List["IoNode"] = []
+        for i in range(io_nodes):
+            io_node = IoNode(self, config, node_id=num_nodes + i)
+            self.io.append(io_node)
+            self.nodes.append(io_node.chip)
+        self.routers: Dict[int, Router] = {}
+        if total_nodes > 1:
+            self.routers = build_routers(self.sim, self.topology, router_params)
+            for node in self.nodes:
+                router = self.routers[node.node_id]
+                router.iq.set_default_disposition(_Disposition(node))
+                node.attach_network(router.oq.offer)
+        self._running_cpus = 0
+        self._warmed_cpus = 0
+        self._on_all_done: Optional[Callable[[], None]] = None
+
+    # -- workload control -----------------------------------------------------
+
+    def attach_workload(self, workload) -> None:
+        """Attach a workload object (see :mod:`repro.workloads.base`): it
+        supplies one thread iterator per (node, cpu)."""
+        for node in self.nodes:
+            for cpu in node.cpus:
+                thread = workload.thread_for(node.node_id, cpu.cpu_id)
+                if thread is not None:
+                    cpu.attach(thread)
+
+    def start(self) -> None:
+        for node in self.nodes:
+            node.start_cpus()
+            self._running_cpus += node.cpus_running
+
+    def cpu_warmed_up(self, node_id: int, cpu_id: int) -> None:
+        """A CPU crossed its warm-up boundary; once all have, shared-module
+        statistics (banks, memory channels, engines, switches) are zeroed
+        so measurements cover only the steady-state phase."""
+        self._warmed_cpus += 1
+        if self._warmed_cpus >= self._running_cpus:
+            self.reset_module_stats()
+
+    def reset_module_stats(self) -> None:
+        for node in self.nodes:
+            for bank in node.banks:
+                bank.stats.reset_all()
+            for mc in node.mcs:
+                mc.stats.reset_all()
+                mc.channel.stats.reset_all()
+            node.ics.stats.reset_all()
+            node.home_engine.stats.reset_all()
+            node.remote_engine.stats.reset_all()
+        for router in self.routers.values():
+            router.stats.reset_all()
+
+    def cpu_finished(self, node_id: int, cpu_id: int) -> None:
+        self._running_cpus -= 1
+        if self._running_cpus == 0 and self._on_all_done is not None:
+            self._on_all_done()
+
+    def run_to_completion(self, max_events: Optional[int] = None) -> int:
+        """Start every CPU and run until all workload threads finish and
+        the event queue drains.  Returns the finish time (ps)."""
+        self.start()
+        self.sim.run(max_events=max_events)
+        if self._running_cpus != 0:
+            raise RuntimeError(
+                f"simulation stalled with {self._running_cpus} CPUs running"
+            )
+        return max(
+            (cpu.finish_time or 0)
+            for node in self.nodes for cpu in node.cpus
+            if cpu.thread is not None
+        )
+
+    # -- aggregate statistics ---------------------------------------------------
+
+    def all_cpus(self):
+        for node in self.nodes:
+            for cpu in node.cpus:
+                if cpu.thread is not None:
+                    yield cpu
+
+    def execution_summary(self) -> Dict[str, float]:
+        """Aggregate Figure 5-style breakdown over all CPUs (picoseconds)."""
+        busy = on_chip = memory = 0
+        instructions = 0
+        for cpu in self.all_cpus():
+            busy += cpu.busy_ps
+            on_chip += cpu.stall_on_chip_ps
+            memory += cpu.stall_memory_ps
+            instructions += cpu.instructions
+        total = busy + on_chip + memory
+        return {
+            "busy_ps": busy,
+            "l2_stall_ps": on_chip,
+            "mem_stall_ps": memory,
+            "total_ps": total,
+            "instructions": instructions,
+        }
+
+    def miss_breakdown(self) -> Dict[str, int]:
+        total = {"l2_hit": 0, "l2_fwd": 0, "l2_miss": 0}
+        for node in self.nodes:
+            for key, value in node.miss_breakdown().items():
+                total[key] += value
+        return total
+
+
+class _Disposition:
+    """Callable IQ handler with a can_accept probe (see queues.InputQueue)."""
+
+    def __init__(self, node: PiranhaChip) -> None:
+        self.node = node
+
+    def __call__(self, pkt: Packet) -> bool:
+        return self.node.deliver_packet(pkt)
+
+    def can_accept(self, pkt: Packet) -> bool:
+        return True

@@ -1,0 +1,57 @@
+"""Experiment harness: runners, per-figure experiments, reporting."""
+
+from .experiments import (
+    FIGURE5_PAPER,
+    FIGURE6A_PAPER,
+    FIGURE6B_PAPER,
+    FIGURE7_PAPER,
+    FIGURE8_PAPER,
+    figure5,
+    figure6a,
+    figure6b,
+    figure7,
+    figure8,
+    pessimistic_sensitivity,
+    run_dss,
+    run_oltp,
+    run_tpcc,
+    table1_parameters,
+    tpcc_sensitivity,
+)
+from .perfmon import node_report, render_report, system_report
+from .report import breakdown_bar, format_table, paper_vs_measured, series
+from .sweep import replace_field, run_config, sweep_field
+from .runner import RunResult, clear_cache, run_workload, scale_factor
+
+__all__ = [
+    "FIGURE5_PAPER",
+    "FIGURE6A_PAPER",
+    "FIGURE6B_PAPER",
+    "FIGURE7_PAPER",
+    "FIGURE8_PAPER",
+    "figure5",
+    "figure6a",
+    "figure6b",
+    "figure7",
+    "figure8",
+    "pessimistic_sensitivity",
+    "run_dss",
+    "run_oltp",
+    "run_tpcc",
+    "table1_parameters",
+    "tpcc_sensitivity",
+    "node_report",
+    "render_report",
+    "system_report",
+    "replace_field",
+    "run_config",
+    "sweep_field",
+    "breakdown_bar",
+    "format_table",
+    "paper_vs_measured",
+    "series",
+    "RunResult",
+    "clear_cache",
+    "run_workload",
+    "scale_factor",
+]

@@ -1,0 +1,65 @@
+"""Plain-text reporting: tables and paper-vs-measured comparisons.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report, side by side with the paper's values.  Absolute numbers
+are not expected to match (the substrate is a synthetic simulator); the
+*shape* — who wins, by what factor, where the crossovers fall — is the
+reproduction target.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Fixed-width table renderer."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def paper_vs_measured(title: str,
+                      rows: Iterable[Sequence[object]]) -> str:
+    """Rows of (metric, paper value, measured value [, note])."""
+    rows = list(rows)
+    has_note = any(len(r) > 3 for r in rows)
+    headers = ["metric", "paper", "measured"] + (["note"] if has_note else [])
+    padded = [list(r) + [""] * (len(headers) - len(r)) for r in rows]
+    return format_table(headers, padded, title=title)
+
+
+def breakdown_bar(label: str, busy: float, l2: float, mem: float,
+                  width: int = 40) -> str:
+    """ASCII stacked bar of the Figure 5 execution-time breakdown."""
+    total = busy + l2 + mem
+    if total <= 0:
+        return f"{label:12s} (empty)"
+    n_busy = round(width * busy / total)
+    n_l2 = round(width * l2 / total)
+    n_mem = width - n_busy - n_l2
+    bar = "#" * n_busy + "=" * n_l2 + "." * n_mem
+    return (f"{label:12s} [{bar}] busy:{busy:.2f} l2:{l2:.2f} mem:{mem:.2f}")
+
+
+def series(label: str, values: Dict[object, float], fmt: str = "{:.2f}") -> str:
+    points = "  ".join(f"{k}:{fmt.format(v)}" for k, v in values.items())
+    return f"{label}: {points}"

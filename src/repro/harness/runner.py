@@ -1,0 +1,121 @@
+"""Experiment runner: build a system, attach a workload, measure.
+
+All figure/table regeneration (``repro.harness.experiments``) goes through
+:func:`run_workload`, which returns a :class:`RunResult` with the
+normalised execution-time breakdown (Figure 5's CPU-busy / L2-hit / L2-miss
+decomposition), the L1-miss service decomposition (Figure 6b), and a
+throughput figure of merit.
+
+Simulations are deterministic, so results are memoised per
+(configuration, workload, nodes) within a process — pytest-benchmark can
+re-invoke a bench without re-simulating.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+from ..core.checker import CoherenceChecker
+from ..core.config import ChipConfig, preset
+from ..core.system import PiranhaSystem
+
+
+def scale_factor() -> float:
+    """Workload scale: set ``REPRO_SCALE=0.5`` (for example) to shrink the
+    measured phases for quick runs; results get noisier but shapes hold."""
+    return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated configuration."""
+
+    config: str
+    cpus: int
+    nodes: int
+    workload: str
+    units: int                   # transactions / rows measured per CPU
+    time_per_unit_ns: float      # per-CPU steady-state time per unit
+    throughput: float            # units per second, whole system
+    busy_frac: float
+    l2_frac: float               # on-chip stall fraction (L2 hit + fwd)
+    mem_frac: float
+    miss_hit_frac: float         # L1 misses serviced by the L2
+    miss_fwd_frac: float         # ... by another on-chip L1
+    miss_mem_frac: float         # ... by local/remote memory
+    sim_wall_s: float = 0.0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def normalized_breakdown(self) -> Tuple[float, float, float]:
+        return (self.busy_frac, self.l2_frac, self.mem_frac)
+
+
+_CACHE: Dict[tuple, RunResult] = {}
+
+
+def run_workload(
+    config_name: str,
+    workload_factory: Callable[[ChipConfig, int], object],
+    num_nodes: int = 1,
+    units_attr: str = "transactions",
+    check_coherence: bool = False,
+    cache_key_extra: tuple = (),
+) -> RunResult:
+    """Simulate one configuration under one workload.
+
+    ``workload_factory(config, num_nodes)`` builds the workload; its
+    ``params.<units_attr>`` gives the measured units per CPU.
+    """
+    key = (config_name, num_nodes, units_attr, cache_key_extra)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    config = preset(config_name)
+    workload = workload_factory(config, num_nodes)
+    checker = CoherenceChecker() if check_coherence else None
+    system = PiranhaSystem(config, num_nodes=num_nodes, checker=checker)
+    system.attach_workload(workload)
+    wall0 = time.time()
+    system.run_to_completion()
+    wall = time.time() - wall0
+    if checker is not None:
+        checker.verify_quiesced()
+
+    units = getattr(workload.params, units_attr)
+    per_cpu_ps = max(cpu.total_ps for cpu in system.all_cpus())
+    time_per_unit_ns = per_cpu_ps / units / 1000.0
+    total_cpus = config.cpus * num_nodes
+    throughput = total_cpus * 1e9 / time_per_unit_ns
+
+    summary = system.execution_summary()
+    total_ps = summary["total_ps"] or 1
+    mb = system.miss_breakdown()
+    misses = sum(mb.values()) or 1
+
+    result = RunResult(
+        config=config_name,
+        cpus=config.cpus,
+        nodes=num_nodes,
+        workload=getattr(workload, "name", "?"),
+        units=units,
+        time_per_unit_ns=time_per_unit_ns,
+        throughput=throughput,
+        busy_frac=summary["busy_ps"] / total_ps,
+        l2_frac=summary["l2_stall_ps"] / total_ps,
+        mem_frac=summary["mem_stall_ps"] / total_ps,
+        miss_hit_frac=mb["l2_hit"] / misses,
+        miss_fwd_frac=mb["l2_fwd"] / misses,
+        miss_mem_frac=mb["l2_miss"] / misses,
+        sim_wall_s=wall,
+    )
+    _CACHE[key] = result
+    return result
+
+
+def clear_cache() -> None:
+    _CACHE.clear()

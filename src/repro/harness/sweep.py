@@ -1,0 +1,73 @@
+"""Parameter-sweep utilities for sensitivity studies.
+
+Runs one workload across a family of derived configurations (varying one
+or more :class:`~repro.core.config.ChipConfig` fields) and collects
+RunResult-style records — the machinery behind the cores-vs-cache and
+keep-open sweeps, reusable for ad-hoc studies::
+
+    from repro.harness.sweep import sweep_field
+    results = sweep_field("P8", oltp_factory, "l2.size_bytes",
+                          [512 << 10, 1 << 20, 2 << 20])
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Sequence
+
+from ..core.config import ChipConfig, preset
+from ..core.system import PiranhaSystem
+
+
+def replace_field(config: ChipConfig, dotted: str, value) -> ChipConfig:
+    """Return a config with ``dotted`` (e.g. ``"l2.size_bytes"`` or
+    ``"core.clock_mhz"``) replaced by *value*."""
+    parts = dotted.split(".")
+    if len(parts) == 1:
+        return dataclasses.replace(config, **{parts[0]: value})
+    if len(parts) == 2:
+        sub = getattr(config, parts[0])
+        new_sub = dataclasses.replace(sub, **{parts[1]: value})
+        return dataclasses.replace(config, **{parts[0]: new_sub})
+    raise ValueError(f"at most one level of nesting supported: {dotted!r}")
+
+
+def run_config(config: ChipConfig, workload_factory: Callable,
+               num_nodes: int = 1, units_attr: str = "transactions") -> Dict:
+    """Simulate one configuration; returns a metrics dict."""
+    system = PiranhaSystem(config, num_nodes=num_nodes)
+    workload = workload_factory(config, num_nodes)
+    system.attach_workload(workload)
+    system.run_to_completion()
+    units = getattr(workload.params, units_attr)
+    per_cpu_ps = max(cpu.total_ps for cpu in system.all_cpus())
+    summary = system.execution_summary()
+    total = summary["total_ps"] or 1
+    mb = system.miss_breakdown()
+    misses = sum(mb.values()) or 1
+    return {
+        "config": config.name,
+        "time_per_unit_ns": per_cpu_ps / units / 1000.0,
+        "throughput": config.cpus * num_nodes * 1e12 / (per_cpu_ps / units),
+        "busy_frac": summary["busy_ps"] / total,
+        "l2_frac": summary["l2_stall_ps"] / total,
+        "mem_frac": summary["mem_stall_ps"] / total,
+        "miss_mem_frac": mb["l2_miss"] / misses,
+    }
+
+
+def sweep_field(base: str, workload_factory: Callable, dotted: str,
+                values: Sequence, num_nodes: int = 1,
+                units_attr: str = "transactions") -> List[Dict]:
+    """Sweep one config field over *values*; returns one record per point
+    (with the swept value under ``"value"``)."""
+    base_config = preset(base) if isinstance(base, str) else base
+    out = []
+    for value in values:
+        config = replace_field(base_config, dotted, value)
+        config = dataclasses.replace(config,
+                                     name=f"{base_config.name}[{dotted}={value}]")
+        record = run_config(config, workload_factory, num_nodes, units_attr)
+        record["value"] = value
+        out.append(record)
+    return out

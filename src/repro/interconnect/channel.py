@@ -1,0 +1,153 @@
+"""Bit-level channel model: framing, encoding, CRC, piggyback retransmit.
+
+Section 2.6.1: each channel direction is 22 transmission-line wires
+signalling at 2 Gbit/s.  Every interconnect clock the channel moves one
+DC-balanced 22-bit word carrying 16 data bits and 2 CRC/flow-control bits
+(plus the random balancing bit).  A *piggyback handshake* on the reverse
+channel handles flow control and transmission-error recovery.
+
+This module is the bit-exact data plane used by examples and tests; the
+performance simulations use the :class:`~repro.interconnect.router.Link`
+latency model instead (the two agree on serialisation timing by
+construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..sim.rng import substream
+from .crc import crc16_words
+from .encoding import decode, encode
+from .packets import Packet
+
+#: 2-bit CRC/flow-control field meanings.
+FLOW_IDLE = 0
+FLOW_DATA = 1
+FLOW_CRC = 2
+FLOW_RETRY = 3
+
+
+class ChannelError(RuntimeError):
+    """Raised when the channel gives up on a frame (should not happen with
+    retransmission enabled)."""
+
+
+def packet_to_words(pkt: Packet) -> List[int]:
+    """Serialise a packet into 16-bit channel words (header, then data)."""
+    words: List[int] = []
+    header = pkt.pack_header()
+    for i in range(128 // 16 - 1, -1, -1):
+        words.append((header >> (i * 16)) & 0xFFFF)
+    if pkt.has_data:
+        data = pkt.info.get("data_image", b"\x00" * 64)
+        if len(data) != 64:
+            raise ValueError("long packets carry exactly 64 data bytes")
+        for i in range(0, 64, 2):
+            words.append((data[i] << 8) | data[i + 1])
+    return words
+
+
+def words_to_packet(words: List[int]) -> Packet:
+    """Inverse of :func:`packet_to_words`."""
+    if len(words) not in (8, 40):
+        raise ValueError(f"frame must be 8 or 40 words, got {len(words)}")
+    header = 0
+    for word in words[:8]:
+        header = (header << 16) | word
+    pkt = Packet.unpack_header(header)
+    if len(words) == 40:
+        data = bytearray()
+        for word in words[8:]:
+            data.append(word >> 8)
+            data.append(word & 0xFF)
+        pkt.has_data = True
+        pkt.info["data_image"] = bytes(data)
+    return pkt
+
+
+@dataclass
+class FrameLog:
+    """Bookkeeping from one transfer attempt (for tests/examples)."""
+
+    attempts: int = 0
+    words_sent: int = 0
+    errors_injected: int = 0
+    retries: int = 0
+    wire_words: List[int] = field(default_factory=list)
+
+
+class BitSerialChannel:
+    """One channel direction with CRC-checked frames and retransmission.
+
+    ``error_rate`` injects per-word corruption on the wire; the receiver
+    detects the corrupt frame via CRC (or via an illegal/unbalanced
+    codeword) and the piggyback handshake requests a retransmit.
+    """
+
+    def __init__(self, error_rate: float = 0.0, seed: int = 0, max_retries: int = 8) -> None:
+        if not 0.0 <= error_rate < 1.0:
+            raise ValueError("error rate must be in [0, 1)")
+        self.error_rate = error_rate
+        self.max_retries = max_retries
+        self._rng = substream(seed, "channel")
+        self.log = FrameLog()
+
+    # -- framing ---------------------------------------------------------
+
+    def _frame(self, pkt: Packet) -> Tuple[List[int], List[int]]:
+        """Return (data words, flow-control fields) including the CRC word."""
+        words = packet_to_words(pkt)
+        crc = crc16_words(words)
+        flow = [FLOW_DATA] * len(words) + [FLOW_CRC]
+        return words + [crc], flow
+
+    def _transmit_words(self, words: List[int], flow: List[int]) -> List[int]:
+        """Encode, corrupt (maybe), and return the raw 22-bit wire words."""
+        wire: List[int] = []
+        for data16, flow2 in zip(words, flow):
+            rnd = self._rng.getrandbits(1)
+            word22 = encode((flow2 << 16) | data16, rnd)
+            if self.error_rate and self._rng.random() < self.error_rate:
+                # Flip one wire: breaks DC balance, detected immediately.
+                word22 ^= 1 << self._rng.randrange(22)
+                self.log.errors_injected += 1
+            wire.append(word22)
+            self.log.words_sent += 1
+        return wire
+
+    def _receive_words(self, wire: List[int]) -> Optional[Tuple[List[int], List[int]]]:
+        """Decode a frame; None signals a detected error (retry needed)."""
+        data16s: List[int] = []
+        flows: List[int] = []
+        for word22 in wire:
+            try:
+                data18, _rnd = decode(word22)
+            except Exception:
+                return None
+            data16s.append(data18 & 0xFFFF)
+            flows.append(data18 >> 16)
+        payload, crc_word = data16s[:-1], data16s[-1]
+        if flows[-1] != FLOW_CRC or crc16_words(payload) != crc_word:
+            return None
+        return payload, flows[:-1]
+
+    # -- public API ------------------------------------------------------
+
+    def transfer(self, pkt: Packet) -> Packet:
+        """Move a packet across the channel, retrying on detected errors."""
+        words, flow = self._frame(pkt)
+        for _attempt in range(self.max_retries + 1):
+            self.log.attempts += 1
+            wire = self._transmit_words(words, flow)
+            self.log.wire_words = wire
+            result = self._receive_words(wire)
+            if result is not None:
+                payload, _flows = result
+                return words_to_packet(payload)
+            self.log.retries += 1
+        raise ChannelError(
+            f"frame lost after {self.max_retries} retries "
+            f"(error_rate={self.error_rate})"
+        )

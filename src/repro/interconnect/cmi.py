@@ -1,0 +1,160 @@
+"""Cruise-missile invalidates (CMI) — Section 2.5.3.
+
+To bound the number of messages a single request can inject into the
+network (a prerequisite of Piranha's linear buffering guarantee), the home
+engine invalidates a large sharer set by launching **at most four**
+invalidation messages.  Each message carries a predetermined visit chain:
+it hops from sharer to sharer, invalidating at each stop, and only the
+*final* node in the chain emits a single acknowledgement to the requester.
+
+With 16 TSRF entries per engine and CMI capping invalidations at four
+messages, a node needs buffering for only 2 engines x 16 TSRFs x 4 = 128
+message headers — independent of system size.
+
+This module plans the visit chains (a small travelling-salesman-flavoured
+partitioning heuristic over the interconnect topology) and provides an
+analytic latency comparison against the conventional home-fan-out scheme,
+which the ablation benchmark exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from .topology import Topology
+
+#: The paper's bound on invalidation messages injected per request.
+MAX_CMI_MESSAGES = 4
+
+
+@dataclass(frozen=True)
+class CmiPlan:
+    """A set of cruise-missile chains covering a sharer set."""
+
+    chains: Tuple[Tuple[int, ...], ...]
+    requester: int
+    home: int
+
+    @property
+    def messages_injected(self) -> int:
+        """Messages the home injects (one per chain)."""
+        return len(self.chains)
+
+    @property
+    def acks_generated(self) -> int:
+        """Acks the requester gathers (one per chain — final node only)."""
+        return len(self.chains)
+
+    def covered(self) -> frozenset:
+        return frozenset(n for chain in self.chains for n in chain)
+
+
+def plan_cmi(
+    topology: Topology,
+    home: int,
+    requester: int,
+    sharers: Iterable[int],
+    max_messages: int = MAX_CMI_MESSAGES,
+) -> CmiPlan:
+    """Partition *sharers* into at most *max_messages* visit chains.
+
+    Chains are built greedily: sharers are split into balanced groups, and
+    within each group ordered nearest-neighbour starting from the node
+    closest to the home, so each missile flies a short path.
+    """
+    targets = sorted(set(sharers) - {requester})
+    if max_messages < 1:
+        raise ValueError("need at least one invalidation message")
+    if not targets:
+        return CmiPlan(chains=(), requester=requester, home=home)
+
+    n_chains = min(max_messages, len(targets))
+    # Seed each chain with the targets farthest from each other: sort by
+    # distance from home and deal round-robin, then order each chain
+    # nearest-neighbour.
+    by_distance = sorted(targets, key=lambda n: (topology.distance(home, n), n))
+    groups: List[List[int]] = [[] for _ in range(n_chains)]
+    for i, node in enumerate(by_distance):
+        groups[i % n_chains].append(node)
+
+    chains: List[Tuple[int, ...]] = []
+    for group in groups:
+        remaining = set(group)
+        current = home
+        ordered: List[int] = []
+        while remaining:
+            nxt = min(remaining, key=lambda n: (topology.distance(current, n), n))
+            ordered.append(nxt)
+            remaining.discard(nxt)
+            current = nxt
+        chains.append(tuple(ordered))
+    return CmiPlan(chains=tuple(chains), requester=requester, home=home)
+
+
+def cmi_latency(
+    topology: Topology,
+    plan: CmiPlan,
+    hop_ns: float,
+    visit_ns: float,
+) -> float:
+    """Critical-path latency (ns) until the requester holds all acks.
+
+    Each chain: home -> first sharer -> ... -> last sharer -> requester,
+    paying *hop_ns* per topology hop and *visit_ns* per invalidation stop.
+    """
+    worst = 0.0
+    for chain in plan.chains:
+        t = 0.0
+        current = plan.home
+        for node in chain:
+            t += topology.distance(current, node) * hop_ns + visit_ns
+            current = node
+        t += topology.distance(current, plan.requester) * hop_ns
+        worst = max(worst, t)
+    return worst
+
+
+def fanout_latency(
+    topology: Topology,
+    home: int,
+    requester: int,
+    sharers: Sequence[int],
+    hop_ns: float,
+    visit_ns: float,
+    inject_ns: float,
+    gather_ns: float,
+) -> float:
+    """Latency of the conventional scheme (e.g. DASH/Origin): the home
+    serialises one invalidation per sharer (*inject_ns* apart), each sharer
+    acks to the requester, and the requester serialises ack sink handling
+    (*gather_ns* apart).
+
+    The serialisation at both ends is exactly what CMI avoids.
+    """
+    targets = sorted(set(sharers) - {requester})
+    if not targets:
+        return 0.0
+    arrival_times = []
+    for i, node in enumerate(targets):
+        t = i * inject_ns  # home-engine occupancy serialises injections
+        t += topology.distance(home, node) * hop_ns + visit_ns
+        t += topology.distance(node, requester) * hop_ns
+        arrival_times.append(t)
+    arrival_times.sort()
+    done = 0.0
+    for t in arrival_times:
+        done = max(done, t) + gather_ns
+    return done
+
+
+def fanout_messages(sharers: Sequence[int], requester: int) -> Tuple[int, int]:
+    """(injected invalidations, acks) for the conventional scheme."""
+    targets = set(sharers) - {requester}
+    return len(targets), len(targets)
+
+
+def buffering_bound(tsrf_entries: int = 16, engines: int = 2,
+                    max_messages: int = MAX_CMI_MESSAGES) -> int:
+    """Per-node message-header buffering bound from Section 2.5.3."""
+    return engines * tsrf_entries * max_messages

@@ -1,0 +1,63 @@
+"""CRC for channel error detection (Sections 2.6.1 and 2.7).
+
+Piranha sends 2 extra bits per 16 data bits for CRC, flow control and error
+recovery, and protects most datapaths with CRC.  We model the channel CRC
+with CRC-16/CCITT computed over a packet's words; the channel layer
+(:mod:`repro.interconnect.channel`) uses it for its piggyback
+retransmission handshake.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+CRC16_POLY = 0x1021  # CCITT
+CRC16_INIT = 0xFFFF
+
+
+def _build_table() -> List[int]:
+    table = []
+    for byte in range(256):
+        crc = byte << 8
+        for _ in range(8):
+            if crc & 0x8000:
+                crc = ((crc << 1) ^ CRC16_POLY) & 0xFFFF
+            else:
+                crc = (crc << 1) & 0xFFFF
+        table.append(crc)
+    return table
+
+
+_TABLE = _build_table()
+
+
+def crc16(data: bytes, init: int = CRC16_INIT) -> int:
+    """Table-driven CRC-16/CCITT over *data*."""
+    crc = init
+    for byte in data:
+        crc = ((crc << 8) & 0xFFFF) ^ _TABLE[((crc >> 8) ^ byte) & 0xFF]
+    return crc
+
+
+def crc16_bitwise(data: bytes, init: int = CRC16_INIT) -> int:
+    """Bit-serial reference implementation (used to validate the table)."""
+    crc = init
+    for byte in data:
+        crc ^= byte << 8
+        for _ in range(8):
+            if crc & 0x8000:
+                crc = ((crc << 1) ^ CRC16_POLY) & 0xFFFF
+            else:
+                crc = (crc << 1) & 0xFFFF
+    return crc
+
+
+def crc16_words(words16: Iterable[int]) -> int:
+    """CRC over a sequence of 16-bit channel data words (big-endian)."""
+    buf = bytearray()
+    for word in words16:
+        if not 0 <= word < (1 << 16):
+            raise ValueError(f"channel word {word:#x} exceeds 16 bits")
+        buf.append(word >> 8)
+        buf.append(word & 0xFF)
+    return crc16(bytes(buf))

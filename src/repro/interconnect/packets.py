@@ -1,0 +1,210 @@
+"""System-interconnect packet formats (Section 2.6).
+
+Two packet types exist on the wire: the **Short** packet is a 128-bit
+header used for all data-less transactions; the **Long** packet carries the
+same header plus a 64-byte (512-bit) data section.  At 64 data bits per
+500 MHz system clock, packets serialise in 2 or 10 interconnect clock
+cycles respectively — exactly the figures the paper quotes.
+
+The 128-bit header is packed/unpacked bit-exactly here; the 4-bit packet
+type field is what the input queue's *disposition vector* indexes to steer
+arriving packets to their target module (Section 2.6.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class Lane(enum.IntEnum):
+    """Virtual lanes used for deadlock avoidance (Section 2.5.3).
+
+    The low-priority lane (L) carries requests sent to a home node (except
+    writebacks/replacements, which use H); the high-priority lane (H)
+    carries forwarded requests and all replies; the I/O lane is reserved
+    for I/O traffic.
+    """
+
+    IO = 0
+    L = 1
+    H = 2
+
+
+class PacketType(enum.IntEnum):
+    """The 16 major packet types (4-bit wire encoding)."""
+
+    # Requests to a home node (lane L)
+    READ = 0
+    READ_EXCLUSIVE = 1
+    EXCLUSIVE = 2          # requester already holds a shared copy
+    EXCLUSIVE_NO_DATA = 3  # Alpha wh64 write-hint: full-line write
+    WRITEBACK = 4          # to home; uses lane H per the paper
+    # Forwarded requests (lane H)
+    FWD_READ = 5
+    FWD_READ_EXCLUSIVE = 6
+    INVALIDATE = 7
+    CMI_INVALIDATE = 8     # cruise-missile invalidation chain
+    # Replies (lane H)
+    DATA_REPLY = 9
+    DATA_EXCLUSIVE_REPLY = 10
+    ACK_REPLY = 11         # e.g. exclusive upgrade granted, no data
+    INVAL_ACK = 12
+    WRITEBACK_ACK = 13
+    # Miscellaneous
+    INTERRUPT = 14
+    CONTROL = 15           # system-controller / initialisation traffic
+
+
+#: Packet types that carry a 64-byte data section (Long packets).
+DATA_BEARING = frozenset(
+    {
+        PacketType.WRITEBACK,
+        PacketType.DATA_REPLY,
+        PacketType.DATA_EXCLUSIVE_REPLY,
+    }
+)
+
+#: Default lane assignment per packet type (Section 2.5.3).
+DEFAULT_LANE = {
+    PacketType.READ: Lane.L,
+    PacketType.READ_EXCLUSIVE: Lane.L,
+    PacketType.EXCLUSIVE: Lane.L,
+    PacketType.EXCLUSIVE_NO_DATA: Lane.L,
+    PacketType.WRITEBACK: Lane.H,
+    PacketType.FWD_READ: Lane.H,
+    PacketType.FWD_READ_EXCLUSIVE: Lane.H,
+    PacketType.INVALIDATE: Lane.H,
+    PacketType.CMI_INVALIDATE: Lane.H,
+    PacketType.DATA_REPLY: Lane.H,
+    PacketType.DATA_EXCLUSIVE_REPLY: Lane.H,
+    PacketType.ACK_REPLY: Lane.H,
+    PacketType.INVAL_ACK: Lane.H,
+    PacketType.WRITEBACK_ACK: Lane.H,
+    PacketType.INTERRUPT: Lane.IO,
+    PacketType.CONTROL: Lane.IO,
+}
+
+SHORT_BITS = 128
+LONG_BITS = 128 + 512
+
+# Header field widths (sum = 128)
+_FIELDS: Tuple[Tuple[str, int], ...] = (
+    ("ptype", 4),
+    ("src", 10),      # up to 1024 nodes
+    ("dst", 10),
+    ("lane", 2),
+    ("priority", 2),  # 4 interconnect priority levels (Section 2.6.2)
+    ("age", 8),       # hot-potato age escalation
+    ("txn_id", 16),
+    ("addr", 44),     # line address bits
+    ("reserved", 32),
+)
+assert sum(width for _, width in _FIELDS) == SHORT_BITS
+
+
+@dataclass
+class Packet:
+    """One interconnect packet.
+
+    ``route`` and ``info`` carry model-level bookkeeping (a CMI visit chain,
+    a directory snapshot travelling with a forwarded request, inval-ack
+    counts) that in hardware lives in the reserved header bits or the data
+    section; they do not change the wire size accounting.
+    """
+
+    ptype: PacketType
+    src: int
+    dst: int
+    addr: int = 0
+    txn_id: int = 0
+    lane: Optional[Lane] = None
+    priority: int = 1
+    age: int = 0
+    has_data: Optional[bool] = None
+    route: tuple = ()
+    info: dict = field(default_factory=dict)
+    inject_time: int = 0
+
+    def __post_init__(self) -> None:
+        if self.lane is None:
+            self.lane = DEFAULT_LANE[self.ptype]
+        if self.has_data is None:
+            self.has_data = self.ptype in DATA_BEARING
+        if not 0 <= self.priority < 4:
+            raise ValueError(f"priority must be 0..3, got {self.priority}")
+
+    @property
+    def size_bits(self) -> int:
+        """Wire size: Short (128) or Long (640) packet."""
+        return LONG_BITS if self.has_data else SHORT_BITS
+
+    @property
+    def wire_cycles(self) -> int:
+        """Serialisation time in 500 MHz interconnect clock cycles (2 / 10)."""
+        return 10 if self.has_data else 2
+
+    def pack_header(self) -> int:
+        """Pack the 128-bit wire header."""
+        values = {
+            "ptype": int(self.ptype),
+            "src": self.src,
+            "dst": self.dst,
+            "lane": int(self.lane),
+            "priority": self.priority,
+            "age": min(self.age, 255),
+            "txn_id": self.txn_id & 0xFFFF,
+            "addr": (self.addr >> 6) & ((1 << 44) - 1),  # line address
+            "reserved": 0,
+        }
+        header = 0
+        shift = SHORT_BITS
+        for name, width in _FIELDS:
+            shift -= width
+            value = values[name]
+            if not 0 <= value < (1 << width):
+                raise ValueError(f"field {name}={value} exceeds {width} bits")
+            header |= value << shift
+        return header
+
+    @classmethod
+    def unpack_header(cls, header: int) -> "Packet":
+        """Recover a packet (header fields only) from its 128-bit encoding."""
+        if not 0 <= header < (1 << SHORT_BITS):
+            raise ValueError("header must be a 128-bit integer")
+        values = {}
+        shift = SHORT_BITS
+        for name, width in _FIELDS:
+            shift -= width
+            values[name] = (header >> shift) & ((1 << width) - 1)
+        return cls(
+            ptype=PacketType(values["ptype"]),
+            src=values["src"],
+            dst=values["dst"],
+            addr=values["addr"] << 6,
+            txn_id=values["txn_id"],
+            lane=Lane(values["lane"]),
+            priority=values["priority"],
+            age=values["age"],
+        )
+
+    def is_request(self) -> bool:
+        """True for request-class packets (as opposed to replies)."""
+        return self.ptype in (
+            PacketType.READ,
+            PacketType.READ_EXCLUSIVE,
+            PacketType.EXCLUSIVE,
+            PacketType.EXCLUSIVE_NO_DATA,
+            PacketType.WRITEBACK,
+            PacketType.FWD_READ,
+            PacketType.FWD_READ_EXCLUSIVE,
+            PacketType.INVALIDATE,
+            PacketType.CMI_INVALIDATE,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet({self.ptype.name}, {self.src}->{self.dst}, "
+            f"addr={self.addr:#x}, txn={self.txn_id})"
+        )

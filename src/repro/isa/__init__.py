@@ -1,0 +1,56 @@
+"""Alpha-like subset ISA: encoding, assembler, functional core, adapter."""
+
+from .assembler import AssemblyError, assemble
+from .cpu import (
+    CpuState,
+    ExecutedOp,
+    FunctionalCpu,
+    IsaThread,
+    MemoryPort,
+    SharedMemory,
+    make_isa_workload,
+)
+from .encoding import (
+    FORMATS,
+    NUM_REGS,
+    OPCODES,
+    ZERO_REG,
+    Format,
+    Instruction,
+    Mnemonic,
+    decode,
+    encode,
+)
+from .programs import (
+    consumer,
+    memcpy_wh64,
+    producer,
+    spinlock_increment,
+    vector_sum,
+)
+
+__all__ = [
+    "AssemblyError",
+    "assemble",
+    "CpuState",
+    "ExecutedOp",
+    "FunctionalCpu",
+    "IsaThread",
+    "MemoryPort",
+    "SharedMemory",
+    "make_isa_workload",
+    "FORMATS",
+    "NUM_REGS",
+    "OPCODES",
+    "ZERO_REG",
+    "Format",
+    "Instruction",
+    "Mnemonic",
+    "decode",
+    "encode",
+    "consumer",
+    "memcpy_wh64",
+    "producer",
+    "spinlock_increment",
+    "vector_sum",
+]

@@ -1,0 +1,139 @@
+"""Two-pass assembler for the Alpha-like subset.
+
+Syntax (one instruction per line, ``;`` comments)::
+
+    loop:   ldq   r1, 0(r2)       ; load
+            addq  r1, #1, r1      ; operate with 8-bit literal
+            stq   r1, 0(r2)
+            lda   r2, 64(r2)      ; address arithmetic
+            subq  r3, #1, r3
+            bne   r3, loop        ; branch to label
+            halt
+
+Branch displacements are in instructions relative to the *following*
+instruction, as on Alpha; the assembler resolves labels.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from .encoding import FORMATS, Format, Instruction, Mnemonic, ZERO_REG, encode
+
+_LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+_REG_RE = re.compile(r"^r([0-9]|[12][0-9]|3[01])$")
+_MEM_RE = re.compile(r"^(-?\w+)\((r\d+)\)$")
+
+
+class AssemblyError(ValueError):
+    """Bad assembly input."""
+
+    def __init__(self, lineno: int, message: str) -> None:
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+def _parse_reg(token: str, lineno: int) -> int:
+    m = _REG_RE.match(token)
+    if not m:
+        raise AssemblyError(lineno, f"expected register, got {token!r}")
+    return int(m.group(1))
+
+
+def _parse_int(token: str, lineno: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(lineno, f"expected integer, got {token!r}") from None
+
+
+def assemble(source: str) -> List[int]:
+    """Assemble *source* into a list of 32-bit instruction words."""
+    lines = source.splitlines()
+    stripped: List[Tuple[int, str]] = []
+    labels: Dict[str, int] = {}
+
+    # pass 1: strip comments, collect labels, count instructions
+    pc = 0
+    for lineno, raw in enumerate(lines, start=1):
+        text = raw.split(";", 1)[0].strip()
+        if not text:
+            continue
+        while ":" in text:
+            label, _, rest = text.partition(":")
+            label = label.strip()
+            if not _LABEL_RE.match(label):
+                raise AssemblyError(lineno, f"bad label {label!r}")
+            if label in labels:
+                raise AssemblyError(lineno, f"duplicate label {label!r}")
+            labels[label] = pc
+            text = rest.strip()
+        if text:
+            stripped.append((lineno, text))
+            pc += 1
+
+    # pass 2: encode
+    words: List[int] = []
+    for pc, (lineno, text) in enumerate(stripped):
+        parts = text.replace(",", " ").split()
+        mnem_token, args = parts[0].lower(), parts[1:]
+        try:
+            mnem = Mnemonic(mnem_token)
+        except ValueError:
+            raise AssemblyError(lineno, f"unknown mnemonic {mnem_token!r}") from None
+        fmt = FORMATS[mnem]
+
+        if fmt == Format.MEMORY:
+            if mnem == Mnemonic.WH64 and len(args) == 1 and _MEM_RE.match(args[0]):
+                m = _MEM_RE.match(args[0])
+                instr = Instruction(mnem, ra=ZERO_REG,
+                                    rb=_parse_reg(m.group(2), lineno),
+                                    disp=_parse_int(m.group(1), lineno))
+            else:
+                if len(args) != 2:
+                    raise AssemblyError(lineno, f"{mnem_token} needs 'ra, disp(rb)'")
+                ra = _parse_reg(args[0], lineno)
+                m = _MEM_RE.match(args[1])
+                if not m:
+                    raise AssemblyError(lineno, f"bad address operand {args[1]!r}")
+                instr = Instruction(mnem, ra=ra,
+                                    rb=_parse_reg(m.group(2), lineno),
+                                    disp=_parse_int(m.group(1), lineno))
+        elif fmt == Format.BRANCH:
+            if mnem == Mnemonic.BR:
+                if len(args) != 1:
+                    raise AssemblyError(lineno, "br needs a target")
+                ra, target = ZERO_REG, args[0]
+            else:
+                if len(args) != 2:
+                    raise AssemblyError(lineno, f"{mnem_token} needs 'ra, target'")
+                ra, target = _parse_reg(args[0], lineno), args[1]
+            if target in labels:
+                disp = labels[target] - (pc + 1)
+            else:
+                disp = _parse_int(target, lineno)
+            instr = Instruction(mnem, ra=ra, disp=disp)
+        elif fmt == Format.OPERATE:
+            if len(args) != 3:
+                raise AssemblyError(lineno, f"{mnem_token} needs 'ra, rb|#lit, rc'")
+            ra = _parse_reg(args[0], lineno)
+            rc = _parse_reg(args[2], lineno)
+            if args[1].startswith("#"):
+                instr = Instruction(mnem, ra=ra, rc=rc,
+                                    literal=_parse_int(args[1][1:], lineno))
+            else:
+                instr = Instruction(mnem, ra=ra,
+                                    rb=_parse_reg(args[1], lineno), rc=rc)
+        else:  # MISC
+            if mnem == Mnemonic.JMP:
+                if len(args) != 1:
+                    raise AssemblyError(lineno, "jmp needs '(rb)' or rb")
+                token = args[0].strip("()")
+                instr = Instruction(mnem, rb=_parse_reg(token, lineno))
+            elif len(args) != 0:
+                raise AssemblyError(lineno, f"{mnem_token} takes no operands")
+            else:
+                instr = Instruction(mnem)
+        words.append(encode(instr))
+    return words

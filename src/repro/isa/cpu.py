@@ -1,0 +1,315 @@
+"""Functional execution of the Alpha-like subset, plus the adapter that
+turns a program into a timing-simulation workload thread.
+
+The functional core is architectural-state only (registers, PC, the
+load-locked flag); memory goes through a :class:`MemoryPort`.  The
+:class:`IsaThread` adapter runs a program instruction-at-a-time *as the
+timing CPU consumes it*, yielding one workload item per instruction — so
+functional stores and loads interleave across CPUs in simulated-time
+order, and lock code (``ldq_l``/``stq_c``) behaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from ..core.messages import AccessKind
+from ..mem.addr import line_addr
+from .encoding import Instruction, Mnemonic, ZERO_REG, decode
+
+MASK64 = (1 << 64) - 1
+
+
+def _to_signed(value: int) -> int:
+    value &= MASK64
+    return value - (1 << 64) if value & (1 << 63) else value
+
+
+class MemoryPort:
+    """Abstract data-memory interface (quadword granularity)."""
+
+    def load_q(self, addr: int) -> int:
+        raise NotImplementedError
+
+    def store_q(self, addr: int, value: int) -> None:
+        raise NotImplementedError
+
+    def wh64(self, addr: int) -> None:
+        """Zero the 64-byte block (the architectural effect of wh64 is that
+        the old contents may be discarded)."""
+        base = line_addr(addr)
+        for offset in range(0, 64, 8):
+            self.store_q(base + offset, 0)
+
+
+class SharedMemory(MemoryPort):
+    """Simple quadword-addressed shared memory with lock-flag support."""
+
+    def __init__(self) -> None:
+        self.words: Dict[int, int] = {}
+        #: per-agent lock registration: agent -> locked line address
+        self.lock_flags: Dict[int, int] = {}
+
+    def load_q(self, addr: int) -> int:
+        if addr & 7:
+            raise ValueError(f"unaligned quadword load at {addr:#x}")
+        return self.words.get(addr, 0)
+
+    def store_q(self, addr: int, value: int) -> None:
+        if addr & 7:
+            raise ValueError(f"unaligned quadword store at {addr:#x}")
+        self.words[addr] = value & MASK64
+        # any store to a locked line breaks other agents' lock flags
+        line = line_addr(addr)
+        for agent, locked in list(self.lock_flags.items()):
+            if locked == line:
+                del self.lock_flags[agent]
+
+    # -- load-locked / store-conditional ---------------------------------
+
+    def load_locked(self, agent: int, addr: int) -> int:
+        value = self.load_q(addr)
+        self.lock_flags[agent] = line_addr(addr)
+        return value
+
+    def store_conditional(self, agent: int, addr: int, value: int) -> bool:
+        if self.lock_flags.get(agent) != line_addr(addr):
+            return False
+        # clear own flag first so our store doesn't self-invalidate
+        del self.lock_flags[agent]
+        self.store_q(addr, value)
+        return True
+
+
+@dataclass
+class CpuState:
+    """Architectural state of one functional core."""
+
+    regs: List[int] = field(default_factory=lambda: [0] * 32)
+    pc: int = 0
+    halted: bool = False
+    instructions_retired: int = 0
+    stq_c_failures: int = 0
+
+    def read(self, reg: int) -> int:
+        return 0 if reg == ZERO_REG else self.regs[reg]
+
+    def write(self, reg: int, value: int) -> None:
+        if reg != ZERO_REG:
+            self.regs[reg] = value & MASK64
+
+
+@dataclass
+class ExecutedOp:
+    """Memory side-effect of one retired instruction (None if none)."""
+
+    kind: Optional[AccessKind]
+    addr: int = 0
+
+
+class FunctionalCpu:
+    """Executes decoded instructions against a MemoryPort."""
+
+    def __init__(self, program: List[int], memory: MemoryPort,
+                 agent: int = 0, code_base: int = 0) -> None:
+        self.program = [decode(w) for w in program]
+        self.memory = memory
+        self.agent = agent
+        self.code_base = code_base
+        self.state = CpuState()
+
+    def step(self) -> ExecutedOp:
+        """Retire one instruction; returns its memory side-effect."""
+        st = self.state
+        if st.halted:
+            return ExecutedOp(None)
+        if not 0 <= st.pc < len(self.program):
+            raise RuntimeError(f"PC {st.pc} outside program")
+        instr = self.program[st.pc]
+        st.pc += 1
+        st.instructions_retired += 1
+        return self._execute(instr)
+
+    # -- semantics --------------------------------------------------------
+
+    def _operand_b(self, instr: Instruction) -> int:
+        if instr.literal is not None:
+            return instr.literal
+        return self.state.read(instr.rb)
+
+    def _execute(self, instr: Instruction) -> ExecutedOp:
+        st = self.state
+        m = instr.mnem
+        mem = self.memory
+        if m == Mnemonic.LDA:
+            st.write(instr.ra, st.read(instr.rb) + instr.disp)
+            return ExecutedOp(None)
+        if m == Mnemonic.LDQ:
+            addr = (st.read(instr.rb) + instr.disp) & MASK64
+            st.write(instr.ra, mem.load_q(addr))
+            return ExecutedOp(AccessKind.LOAD, addr)
+        if m == Mnemonic.LDQ_L:
+            addr = (st.read(instr.rb) + instr.disp) & MASK64
+            if isinstance(mem, SharedMemory):
+                st.write(instr.ra, mem.load_locked(self.agent, addr))
+            else:
+                st.write(instr.ra, mem.load_q(addr))
+            return ExecutedOp(AccessKind.LOAD_LOCKED, addr)
+        if m == Mnemonic.STQ:
+            addr = (st.read(instr.rb) + instr.disp) & MASK64
+            mem.store_q(addr, st.read(instr.ra))
+            return ExecutedOp(AccessKind.STORE, addr)
+        if m == Mnemonic.STQ_C:
+            addr = (st.read(instr.rb) + instr.disp) & MASK64
+            if isinstance(mem, SharedMemory):
+                ok = mem.store_conditional(self.agent, addr, st.read(instr.ra))
+            else:
+                mem.store_q(addr, st.read(instr.ra))
+                ok = True
+            if not ok:
+                st.stq_c_failures += 1
+            st.write(instr.ra, 1 if ok else 0)
+            return ExecutedOp(AccessKind.STORE_COND, addr)
+        if m == Mnemonic.WH64:
+            addr = (st.read(instr.rb) + instr.disp) & MASK64
+            mem.wh64(addr)
+            return ExecutedOp(AccessKind.WH64, addr)
+        if m in (Mnemonic.ADDQ, Mnemonic.SUBQ, Mnemonic.MULQ, Mnemonic.AND,
+                 Mnemonic.BIS, Mnemonic.XOR, Mnemonic.SLL, Mnemonic.SRL,
+                 Mnemonic.CMPEQ, Mnemonic.CMPLT, Mnemonic.CMPLE):
+            a = st.read(instr.ra)
+            b = self._operand_b(instr)
+            if m == Mnemonic.ADDQ:
+                result = a + b
+            elif m == Mnemonic.SUBQ:
+                result = a - b
+            elif m == Mnemonic.MULQ:
+                result = a * b
+            elif m == Mnemonic.AND:
+                result = a & b
+            elif m == Mnemonic.BIS:
+                result = a | b
+            elif m == Mnemonic.XOR:
+                result = a ^ b
+            elif m == Mnemonic.SLL:
+                result = a << (b & 63)
+            elif m == Mnemonic.SRL:
+                result = a >> (b & 63)
+            elif m == Mnemonic.CMPEQ:
+                result = 1 if a == b else 0
+            elif m == Mnemonic.CMPLT:
+                result = 1 if _to_signed(a) < _to_signed(b) else 0
+            else:  # CMPLE
+                result = 1 if _to_signed(a) <= _to_signed(b) else 0
+            st.write(instr.rc, result)
+            return ExecutedOp(None)
+        if m in (Mnemonic.BEQ, Mnemonic.BNE, Mnemonic.BLT, Mnemonic.BGE,
+                 Mnemonic.BR):
+            a = _to_signed(st.read(instr.ra))
+            taken = (
+                m == Mnemonic.BR
+                or (m == Mnemonic.BEQ and a == 0)
+                or (m == Mnemonic.BNE and a != 0)
+                or (m == Mnemonic.BLT and a < 0)
+                or (m == Mnemonic.BGE and a >= 0)
+            )
+            if taken:
+                st.pc += instr.disp
+            return ExecutedOp(None)
+        if m == Mnemonic.JMP:
+            st.pc = st.read(instr.rb)
+            return ExecutedOp(None)
+        if m == Mnemonic.HALT:
+            st.halted = True
+            return ExecutedOp(None)
+        if m == Mnemonic.NOP:
+            return ExecutedOp(None)
+        if m == Mnemonic.MB:
+            return ExecutedOp(AccessKind.MEMBAR)
+        raise RuntimeError(f"unimplemented mnemonic {m}")  # pragma: no cover
+
+    def run(self, max_instructions: int = 1_000_000) -> CpuState:
+        """Functional-only run to HALT (no timing)."""
+        for _ in range(max_instructions):
+            if self.state.halted:
+                return self.state
+            self.step()
+        raise RuntimeError("program did not halt within the instruction cap")
+
+
+class IsaThread:
+    """Workload-thread adapter: one timing item per retired instruction.
+
+    The functional step happens lazily as the timing CPU consumes items,
+    so shared-memory interleavings follow simulated time (within the hit-
+    folding batch window).  Instruction fetches touch the program's code
+    lines (4-byte instructions, 16 per line) so the timing iL1 sees a real
+    instruction stream.
+    """
+
+    ilp = 1.3
+
+    def __init__(self, cpu: FunctionalCpu,
+                 max_instructions: int = 200_000) -> None:
+        self.cpu = cpu
+        self.max_instructions = max_instructions
+        self.name = f"isa-agent{cpu.agent}"
+
+    def __iter__(self) -> Iterator:
+        return self._gen()
+
+    def _gen(self) -> Iterator:
+        count = 0
+        while not self.cpu.state.halted:
+            count += 1
+            if count > self.max_instructions:
+                raise RuntimeError("ISA thread exceeded instruction cap")
+            fetch_line = self.cpu.code_base + (self.cpu.state.pc // 16) * 64
+            op = self.cpu.step()
+            if op.kind is not None and op.addr >= (1 << 48):
+                raise RuntimeError(
+                    f"negative/sign-extended address {op.addr:#x} — build "
+                    f"pointers that fit lda's signed 16-bit displacement"
+                )
+            if op.kind is None:
+                yield (1, AccessKind.IFETCH, fetch_line, True)
+            else:
+                yield (1, AccessKind.IFETCH, fetch_line, True)
+                yield (0, op.kind, op.addr, True)
+
+
+    def __next__(self):  # pragma: no cover - iterator protocol helper
+        raise TypeError("iterate IsaThread via iter()")
+
+
+def make_isa_workload(programs, memory: Optional[SharedMemory] = None,
+                      data_base: int = 0, code_base: int = 0x7000_0000):
+    """Build a workload object running one assembled program per CPU.
+
+    ``programs`` maps ``(node, cpu)`` to a list of instruction words.
+    Returns ``(workload, cpus)`` where ``cpus`` maps the same keys to the
+    :class:`FunctionalCpu` instances (for post-run state inspection).
+    """
+    memory = memory or SharedMemory()
+    cpus: Dict[tuple, FunctionalCpu] = {}
+
+    class _IsaWorkload:
+        name = "isa"
+        ilp = 1.3
+
+        def thread_for(self, node: int, cpu: int):
+            key = (node, cpu)
+            if key not in programs:
+                return None
+            agent = node * 1024 + cpu
+            fcpu = FunctionalCpu(programs[key], memory, agent=agent,
+                                 code_base=code_base + agent * 0x10000)
+            cpus[key] = fcpu
+            thread = IsaThread(fcpu)
+            gen = iter(thread)
+            from ..workloads.base import WorkloadThread
+
+            return WorkloadThread(gen, ilp=self.ilp, name=thread.name)
+
+    return _IsaWorkload(), cpus, memory

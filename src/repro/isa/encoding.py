@@ -1,0 +1,224 @@
+"""Instruction encoding for the Alpha-like subset ISA.
+
+Piranha's cores execute the Alpha instruction set [39]; this reproduction
+implements a representative subset sufficient for kernels, lock code and
+the ``wh64`` write-hint that drives the protocol's exclusive-without-data
+request.  The 32-bit fixed encodings follow the Alpha format families:
+
+* **memory** format: ``opcode(6) ra(5) rb(5) disp(16)`` — loads/stores,
+  ``lda``, ``wh64``;
+* **branch** format: ``opcode(6) ra(5) disp(21)``;
+* **operate** format: ``opcode(6) ra(5) rb(5) sbz(3) lit(1) func(7) rc(5)``
+  with an 8-bit literal replacing ``rb`` when ``lit`` is set.
+
+Register 31 reads as zero and discards writes, exactly as on Alpha.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+NUM_REGS = 32
+ZERO_REG = 31
+
+
+class Format(enum.Enum):
+    MEMORY = "memory"
+    BRANCH = "branch"
+    OPERATE = "operate"
+    MISC = "misc"
+
+
+class Mnemonic(enum.Enum):
+    # memory
+    LDA = "lda"
+    LDQ = "ldq"
+    STQ = "stq"
+    LDQ_L = "ldq_l"    # load locked
+    STQ_C = "stq_c"    # store conditional
+    WH64 = "wh64"      # write hint: exclusive-without-data
+    # operate
+    ADDQ = "addq"
+    SUBQ = "subq"
+    MULQ = "mulq"
+    AND = "and"
+    BIS = "bis"        # or
+    XOR = "xor"
+    SLL = "sll"
+    SRL = "srl"
+    CMPEQ = "cmpeq"
+    CMPLT = "cmplt"
+    CMPLE = "cmple"
+    # branch
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    BR = "br"
+    # misc
+    JMP = "jmp"
+    HALT = "halt"
+    NOP = "nop"
+    MB = "mb"      # memory barrier
+
+
+OPCODES = {
+    Mnemonic.LDA: 0x08,
+    Mnemonic.LDQ: 0x29,
+    Mnemonic.LDQ_L: 0x2B,
+    Mnemonic.STQ: 0x2D,
+    Mnemonic.STQ_C: 0x2F,
+    Mnemonic.WH64: 0x18,   # MISC family on real Alpha; memory format here
+    Mnemonic.ADDQ: 0x10,
+    Mnemonic.SUBQ: 0x10,
+    Mnemonic.MULQ: 0x13,
+    Mnemonic.AND: 0x11,
+    Mnemonic.BIS: 0x11,
+    Mnemonic.XOR: 0x11,
+    Mnemonic.SLL: 0x12,
+    Mnemonic.SRL: 0x12,
+    Mnemonic.CMPEQ: 0x10,
+    Mnemonic.CMPLT: 0x10,
+    Mnemonic.CMPLE: 0x10,
+    Mnemonic.BEQ: 0x39,
+    Mnemonic.BNE: 0x3D,
+    Mnemonic.BLT: 0x3A,
+    Mnemonic.BGE: 0x3E,
+    Mnemonic.BR: 0x30,
+    Mnemonic.JMP: 0x1A,
+    Mnemonic.HALT: 0x00,
+    Mnemonic.NOP: 0x1F,
+    Mnemonic.MB: 0x19,
+}
+
+FUNC_CODES = {
+    Mnemonic.ADDQ: 0x20,
+    Mnemonic.SUBQ: 0x29,
+    Mnemonic.MULQ: 0x20,
+    Mnemonic.AND: 0x00,
+    Mnemonic.BIS: 0x20,
+    Mnemonic.XOR: 0x40,
+    Mnemonic.SLL: 0x39,
+    Mnemonic.SRL: 0x34,
+    Mnemonic.CMPEQ: 0x2D,
+    Mnemonic.CMPLT: 0x4D,
+    Mnemonic.CMPLE: 0x6D,
+    Mnemonic.JMP: 0x00,
+    Mnemonic.HALT: 0x00,
+    Mnemonic.NOP: 0x20,
+    Mnemonic.MB: 0x00,
+}
+
+FORMATS = {
+    Mnemonic.LDA: Format.MEMORY,
+    Mnemonic.LDQ: Format.MEMORY,
+    Mnemonic.LDQ_L: Format.MEMORY,
+    Mnemonic.STQ: Format.MEMORY,
+    Mnemonic.STQ_C: Format.MEMORY,
+    Mnemonic.WH64: Format.MEMORY,
+    Mnemonic.ADDQ: Format.OPERATE,
+    Mnemonic.SUBQ: Format.OPERATE,
+    Mnemonic.MULQ: Format.OPERATE,
+    Mnemonic.AND: Format.OPERATE,
+    Mnemonic.BIS: Format.OPERATE,
+    Mnemonic.XOR: Format.OPERATE,
+    Mnemonic.SLL: Format.OPERATE,
+    Mnemonic.SRL: Format.OPERATE,
+    Mnemonic.CMPEQ: Format.OPERATE,
+    Mnemonic.CMPLT: Format.OPERATE,
+    Mnemonic.CMPLE: Format.OPERATE,
+    Mnemonic.BEQ: Format.BRANCH,
+    Mnemonic.BNE: Format.BRANCH,
+    Mnemonic.BLT: Format.BRANCH,
+    Mnemonic.BGE: Format.BRANCH,
+    Mnemonic.BR: Format.BRANCH,
+    Mnemonic.JMP: Format.MISC,
+    Mnemonic.HALT: Format.MISC,
+    Mnemonic.NOP: Format.MISC,
+    Mnemonic.MB: Format.MISC,
+}
+
+# Operate-family mnemonics share opcodes; decode needs (opcode, func).
+_OPERATE_BY_KEY = {
+    (OPCODES[m], FUNC_CODES[m]): m
+    for m in FUNC_CODES
+    if FORMATS[m] == Format.OPERATE
+}
+_NON_OPERATE_BY_OPCODE = {
+    OPCODES[m]: m for m in Mnemonic if FORMATS[m] != Format.OPERATE
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction."""
+
+    mnem: Mnemonic
+    ra: int = ZERO_REG
+    rb: int = ZERO_REG
+    rc: int = ZERO_REG
+    disp: int = 0
+    literal: Optional[int] = None  # operate-format 8-bit literal
+
+    def __post_init__(self) -> None:
+        for reg, name in ((self.ra, "ra"), (self.rb, "rb"), (self.rc, "rc")):
+            if not 0 <= reg < NUM_REGS:
+                raise ValueError(f"{name}={reg} out of range")
+        if self.literal is not None and not 0 <= self.literal < 256:
+            raise ValueError(f"literal {self.literal} exceeds 8 bits")
+
+    @property
+    def format(self) -> Format:
+        return FORMATS[self.mnem]
+
+
+def _signed(value: int, bits: int) -> int:
+    mask = (1 << bits) - 1
+    value &= mask
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+def encode(instr: Instruction) -> int:
+    """Encode to the 32-bit word."""
+    op = OPCODES[instr.mnem] << 26
+    fmt = instr.format
+    if fmt == Format.MEMORY:
+        disp = instr.disp & 0xFFFF
+        return op | (instr.ra << 21) | (instr.rb << 16) | disp
+    if fmt == Format.BRANCH:
+        disp = instr.disp & 0x1FFFFF
+        return op | (instr.ra << 21) | disp
+    # OPERATE and MISC use the operate layout
+    func = FUNC_CODES[instr.mnem] << 5
+    if instr.literal is not None:
+        return (op | (instr.ra << 21) | (instr.literal << 13) | (1 << 12)
+                | func | instr.rc)
+    return op | (instr.ra << 21) | (instr.rb << 16) | func | instr.rc
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit word back to an :class:`Instruction`."""
+    if not 0 <= word < (1 << 32):
+        raise ValueError("instruction word must be 32 bits")
+    opcode = word >> 26
+    ra = (word >> 21) & 31
+    mnem = _NON_OPERATE_BY_OPCODE.get(opcode)
+    if mnem is not None and FORMATS[mnem] == Format.MEMORY:
+        return Instruction(mnem, ra=ra, rb=(word >> 16) & 31,
+                           disp=_signed(word, 16))
+    if mnem is not None and FORMATS[mnem] == Format.BRANCH:
+        return Instruction(mnem, ra=ra, disp=_signed(word, 21))
+    func = (word >> 5) & 0x7F
+    key_mnem = _OPERATE_BY_KEY.get((opcode, func))
+    if key_mnem is None and mnem is not None:
+        key_mnem = mnem  # MISC family
+    if key_mnem is None:
+        raise ValueError(f"cannot decode word {word:#010x}")
+    rc = word & 31
+    if word & (1 << 12):
+        return Instruction(key_mnem, ra=ra, literal=(word >> 13) & 0xFF, rc=rc)
+    return Instruction(key_mnem, ra=ra, rb=(word >> 16) & 31, rc=rc)

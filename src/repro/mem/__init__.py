@@ -1,0 +1,13 @@
+"""Physical-address helpers shared by all memory-system modules."""
+
+from .addr import LINE_BYTES, LINE_SHIFT, AddressMap, l2_bank, line_addr, line_index, line_offset
+
+__all__ = [
+    "LINE_BYTES",
+    "LINE_SHIFT",
+    "AddressMap",
+    "l2_bank",
+    "line_addr",
+    "line_index",
+    "line_offset",
+]

@@ -1,0 +1,21 @@
+"""Discrete-event simulation substrate (engine, stats, deterministic RNG)."""
+
+from .engine import PS_PER_NS, Clock, Component, EventHandle, Simulator, ns
+from .rng import derive_seed, substream
+from .stats import Accumulator, Counter, Histogram, StatGroup, TimeWeighted
+
+__all__ = [
+    "PS_PER_NS",
+    "Clock",
+    "Component",
+    "EventHandle",
+    "Simulator",
+    "ns",
+    "substream",
+    "derive_seed",
+    "Counter",
+    "Accumulator",
+    "Histogram",
+    "StatGroup",
+    "TimeWeighted",
+]

@@ -1,0 +1,234 @@
+"""Statistics primitives for simulated components.
+
+Every module keeps its counters in a :class:`StatGroup`.  The harness
+(:mod:`repro.harness`) collects these into the execution-time breakdowns and
+miss decompositions that the paper's Figures 5 and 6 report.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Counter({self.name}={self.value})"
+
+
+class Accumulator:
+    """Tracks sum / count / min / max of a sampled quantity (e.g. latency)."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "_sumsq")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._sumsq = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self._sumsq += value * value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def stdev(self) -> float:
+        if self.count < 2:
+            return 0.0
+        var = max(0.0, self._sumsq / self.count - self.mean**2)
+        return math.sqrt(var)
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self._sumsq = 0.0
+        self.min = None
+        self.max = None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Accumulator({self.name}: n={self.count}, mean={self.mean:.2f})"
+
+
+class Histogram:
+    """Fixed-bin histogram for distributions (queue depths, latencies)."""
+
+    def __init__(self, name: str, bin_edges: Iterable[float]) -> None:
+        self.name = name
+        self.edges: List[float] = sorted(bin_edges)
+        if not self.edges:
+            raise ValueError("histogram needs at least one bin edge")
+        # bins[i] counts values in [edges[i-1], edges[i]); bins[0] is
+        # underflow, bins[-1] is overflow.
+        self.bins: List[int] = [0] * (len(self.edges) + 1)
+        self.samples = 0
+
+    def add(self, value: float) -> None:
+        self.samples += 1
+        for i, edge in enumerate(self.edges):
+            if value < edge:
+                self.bins[i] += 1
+                return
+        self.bins[-1] += 1
+
+    def fraction_below(self, edge: float) -> float:
+        """Fraction of samples strictly below *edge* (must be a bin edge)."""
+        if self.samples == 0:
+            return 0.0
+        idx = self.edges.index(edge)
+        return sum(self.bins[: idx + 1]) / self.samples
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Histogram({self.name}: n={self.samples})"
+
+
+class TimeWeighted:
+    """Time-weighted average of a level (e.g. occupancy, queue depth)."""
+
+    __slots__ = ("name", "_level", "_last_time", "_area", "_max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._level = 0.0
+        self._last_time = 0
+        self._area = 0.0
+        self._max = 0.0
+
+    def set(self, now_ps: int, level: float) -> None:
+        """Record that the tracked level changed to *level* at *now_ps*."""
+        self._area += self._level * (now_ps - self._last_time)
+        self._last_time = now_ps
+        self._level = level
+        if level > self._max:
+            self._max = level
+
+    def adjust(self, now_ps: int, delta: float) -> None:
+        """Add *delta* to the current level at *now_ps*."""
+        self.set(now_ps, self._level + delta)
+
+    def mean(self, now_ps: int) -> float:
+        """Time-weighted mean level over [0, now_ps]."""
+        if now_ps == 0:
+            return 0.0
+        area = self._area + self._level * (now_ps - self._last_time)
+        return area / now_ps
+
+    @property
+    def peak(self) -> float:
+        return self._max
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+
+class StatGroup:
+    """A named collection of statistics owned by one component."""
+
+    def __init__(self, owner: str) -> None:
+        self.owner = owner
+        self._stats: Dict[str, object] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create a counter."""
+        stat = self._stats.get(name)
+        if stat is None:
+            stat = Counter(name)
+            self._stats[name] = stat
+        if not isinstance(stat, Counter):
+            raise TypeError(f"{name} already exists with type {type(stat).__name__}")
+        return stat
+
+    def accumulator(self, name: str) -> Accumulator:
+        """Get or create an accumulator."""
+        stat = self._stats.get(name)
+        if stat is None:
+            stat = Accumulator(name)
+            self._stats[name] = stat
+        if not isinstance(stat, Accumulator):
+            raise TypeError(f"{name} already exists with type {type(stat).__name__}")
+        return stat
+
+    def histogram(self, name: str, bin_edges: Iterable[float]) -> Histogram:
+        """Get or create a histogram."""
+        stat = self._stats.get(name)
+        if stat is None:
+            stat = Histogram(name, bin_edges)
+            self._stats[name] = stat
+        if not isinstance(stat, Histogram):
+            raise TypeError(f"{name} already exists with type {type(stat).__name__}")
+        return stat
+
+    def time_weighted(self, name: str) -> TimeWeighted:
+        """Get or create a time-weighted level tracker."""
+        stat = self._stats.get(name)
+        if stat is None:
+            stat = TimeWeighted(name)
+            self._stats[name] = stat
+        if not isinstance(stat, TimeWeighted):
+            raise TypeError(f"{name} already exists with type {type(stat).__name__}")
+        return stat
+
+    def get(self, name: str):
+        return self._stats.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stats
+
+    def reset_all(self) -> None:
+        """Zero every counter/accumulator (used at warm-up boundaries)."""
+        for stat in self._stats.values():
+            if isinstance(stat, (Counter, Accumulator)):
+                stat.reset()
+            elif isinstance(stat, Histogram):
+                stat.bins = [0] * len(stat.bins)
+                stat.samples = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten to plain numbers for reporting."""
+        out: Dict[str, object] = {}
+        for name, stat in self._stats.items():
+            if isinstance(stat, Counter):
+                out[name] = stat.value
+            elif isinstance(stat, Accumulator):
+                out[name] = {
+                    "count": stat.count,
+                    "mean": stat.mean,
+                    "min": stat.min,
+                    "max": stat.max,
+                }
+            elif isinstance(stat, Histogram):
+                out[name] = {"samples": stat.samples, "bins": list(stat.bins)}
+            elif isinstance(stat, TimeWeighted):
+                out[name] = {"peak": stat.peak}
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"StatGroup({self.owner}: {sorted(self._stats)})"

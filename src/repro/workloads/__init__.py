@@ -1,0 +1,54 @@
+"""Workload models: OLTP (TPC-B), DSS (TPC-D Q6), TPC-C, microbenchmarks."""
+
+from .base import (
+    AddressSpaceBuilder,
+    CodeWalk,
+    NodeShards,
+    Region,
+    Workload,
+    WorkloadThread,
+    ZipfSampler,
+    interleave_code_and_data,
+)
+from .dss import DssParams, DssWorkload
+from .micro import (
+    MicroParams,
+    MigratoryWrites,
+    PrivateStream,
+    ProducerConsumer,
+    SharedReadOnly,
+    UniformRandom,
+)
+from .oltp import OltpParams, OltpWorkload
+from .tpcc import TpccWorkload, tpcc_params
+from .trace import TraceWorkload, read_trace, record_thread, record_workload
+from .web import WebParams, WebWorkload
+
+__all__ = [
+    "AddressSpaceBuilder",
+    "CodeWalk",
+    "NodeShards",
+    "Region",
+    "Workload",
+    "WorkloadThread",
+    "ZipfSampler",
+    "interleave_code_and_data",
+    "DssParams",
+    "DssWorkload",
+    "MicroParams",
+    "MigratoryWrites",
+    "PrivateStream",
+    "ProducerConsumer",
+    "SharedReadOnly",
+    "UniformRandom",
+    "OltpParams",
+    "OltpWorkload",
+    "TpccWorkload",
+    "tpcc_params",
+    "TraceWorkload",
+    "read_trace",
+    "record_thread",
+    "record_workload",
+    "WebParams",
+    "WebWorkload",
+]

@@ -1,0 +1,249 @@
+"""Workload-model substrate.
+
+The paper evaluates Piranha with SimOS-Alpha running Oracle (OLTP modelled
+after TPC-B, DSS after TPC-D Q6).  We cannot run Oracle; instead each
+workload is a *statistical reference-stream model* parameterised from the
+memory-system behaviour the paper and its companion studies report: large
+instruction and data footprints and high communication-miss rates for
+OLTP, tight scan loops with high spatial locality for DSS.
+
+A workload supplies one :class:`WorkloadThread` per (node, cpu).  A thread
+iterates work items ``(instructions, kind, addr, dependent)``:
+
+* ``instructions`` — instructions executed (1 cycle each on the in-order
+  cores; scaled by available ILP on the OOO baseline);
+* ``kind`` — an :class:`~repro.core.messages.AccessKind` or None;
+* ``addr`` — byte address of the access;
+* ``dependent`` — False marks an independent (streaming) access that an
+  out-of-order window can overlap with others.
+
+Address-space layout is shared by all CPUs and nodes (a shared-memory
+database), carved into :class:`Region` objects with distinct locality
+models.  All randomness is drawn from named deterministic substreams.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from ..core.messages import AccessKind
+from ..sim.rng import substream
+
+LINE = 64
+
+WorkItem = Tuple[int, Optional[AccessKind], int, bool]
+
+
+class WorkloadThread:
+    """Iterator wrapper carrying per-workload attributes (e.g. ILP)."""
+
+    def __init__(self, gen: Iterator[WorkItem], ilp: float = 1.0,
+                 name: str = "") -> None:
+        self._gen = gen
+        self.ilp = ilp
+        self.name = name
+
+    def __iter__(self) -> "WorkloadThread":
+        return self
+
+    def __next__(self) -> WorkItem:
+        return next(self._gen)
+
+
+class Workload:
+    """Base class: a workload builds one thread per (node, cpu)."""
+
+    name = "workload"
+    #: instruction-level parallelism the OOO core can extract (the paper:
+    #: small for OLTP due to dependent chains, larger for DSS loops)
+    ilp = 1.0
+
+    def thread_for(self, node: int, cpu: int) -> Optional[WorkloadThread]:
+        raise NotImplementedError
+
+
+class ZipfSampler:
+    """Zipf(alpha) sampler over [0, n) using an inverse-CDF table."""
+
+    def __init__(self, n: int, alpha: float) -> None:
+        if n < 1:
+            raise ValueError("need at least one element")
+        self.n = n
+        self.alpha = alpha
+        weights = [1.0 / (i + 1) ** alpha for i in range(n)]
+        total = sum(weights)
+        acc = 0.0
+        self._cdf: List[float] = []
+        for w in weights:
+            acc += w / total
+            self._cdf.append(acc)
+
+    def sample(self, u: float) -> int:
+        """Map a uniform [0,1) variate to a rank (0 is hottest)."""
+        return min(bisect.bisect_left(self._cdf, u), self.n - 1)
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous address-space region of ``lines`` cache lines."""
+
+    name: str
+    base: int
+    lines: int
+
+    @property
+    def bytes(self) -> int:
+        return self.lines * LINE
+
+    @property
+    def end(self) -> int:
+        return self.base + self.bytes
+
+    def line_addr(self, index: int) -> int:
+        if not 0 <= index < self.lines:
+            raise IndexError(f"{self.name}: line {index} of {self.lines}")
+        return self.base + index * LINE
+
+
+class AddressSpaceBuilder:
+    """Allocates non-overlapping regions on large alignment boundaries."""
+
+    def __init__(self, base: int = 0x0000_0000, align: int = 1 << 20) -> None:
+        self._next = base
+        self._align = align
+        self.regions: List[Region] = []
+
+    def region(self, name: str, lines: int) -> Region:
+        base = self._next
+        region = Region(name, base, lines)
+        self.regions.append(region)
+        size = lines * LINE
+        self._next = (base + size + self._align - 1) // self._align * self._align
+        return region
+
+    def validate(self) -> None:
+        spans = sorted((r.base, r.end, r.name) for r in self.regions)
+        for (b1, e1, n1), (b2, e2, n2) in zip(spans, spans[1:]):
+            if b2 < e1:
+                raise ValueError(f"regions {n1} and {n2} overlap")
+
+
+class CodeWalk:
+    """Instruction-stream model: a zipf-weighted walk over code blocks.
+
+    The code region is divided into basic-block *runs*; picking a run emits
+    its lines sequentially, one IFETCH per line with ``instrs_per_line``
+    instructions of execution folded in.  Zipf-weighted block selection
+    produces the hot/warm/cold code behaviour of a large database engine.
+    """
+
+    def __init__(self, region: Region, rng, alpha: float = 0.75,
+                 run_lines: int = 6, instrs_per_line: int = 16) -> None:
+        self.region = region
+        self.rng = rng
+        self.run_lines = run_lines
+        self.instrs_per_line = instrs_per_line
+        self.num_starts = max(1, region.lines // run_lines)
+        self.sampler = ZipfSampler(self.num_starts, alpha)
+        # Hash ranks around the region so hot blocks are scattered (as
+        # linked object code is), not clustered at the base.
+        self._perm = list(range(self.num_starts))
+        shuffle_rng = substream(0xC0DE, region.name, "perm")
+        shuffle_rng.shuffle(self._perm)
+
+    def run(self) -> List[Tuple[int, AccessKind, int, bool]]:
+        """One basic-block run: a list of IFETCH work items."""
+        rank = self.sampler.sample(self.rng.random())
+        start = self._perm[rank] * self.run_lines
+        items = []
+        for i in range(self.run_lines):
+            line = (start + i) % self.region.lines
+            items.append((self.instrs_per_line, AccessKind.IFETCH,
+                          self.region.line_addr(line), True))
+        return items
+
+
+def interleave_code_and_data(
+    code_items: List[WorkItem],
+    data_items: List[WorkItem],
+    rng,
+    data_per_code_line: float = 1.0,
+) -> Iterator[WorkItem]:
+    """Weave data references between instruction-fetch lines so the
+    reference mix approximates a real instruction stream (roughly one data
+    reference per few instructions)."""
+    di = 0
+    carry = 0.0
+    for item in code_items:
+        yield item
+        carry += data_per_code_line
+        while carry >= 1.0 and di < len(data_items):
+            yield data_items[di]
+            di += 1
+            carry -= 1.0
+    while di < len(data_items):
+        yield data_items[di]
+        di += 1
+
+
+class NodeShards:
+    """Node-local sampling within a region under the round-robin home map.
+
+    Homes are assigned per 8 KB chunk of the physical address space
+    (:class:`repro.mem.addr.AddressMap`), so the chunks of a region that
+    are homed at a given node form that node's *shard*.  Database engines
+    running on NUMA machines work hard to allocate a client's rows, log
+    stripes and scratch memory out of node-local shards; the workloads use
+    this helper to model that locality (a ``numa_locality`` probability
+    picks the local shard, otherwise the whole region).
+    """
+
+    def __init__(self, region: Region, num_nodes: int,
+                 granularity: int = 8192) -> None:
+        self.region = region
+        self.num_nodes = num_nodes
+        self.chunk_lines = granularity // LINE
+        base_chunk = region.base // granularity
+        total_chunks = -(-region.bytes // granularity)
+        self._chunks_by_node: List[List[int]] = [[] for _ in range(num_nodes)]
+        for c in range(total_chunks):
+            home = (base_chunk + c) % num_nodes
+            self._chunks_by_node[home].append(c)
+
+    def local_chunks(self, node: int) -> List[int]:
+        return self._chunks_by_node[node]
+
+    def sample_line(self, rng, node: int) -> int:
+        """A uniformly random line index homed at *node* (falls back to the
+        whole region when the node owns no chunk of it)."""
+        chunks = self._chunks_by_node[node]
+        if not chunks:
+            return rng.randrange(self.region.lines)
+        chunk = chunks[rng.randrange(len(chunks))]
+        lo = chunk * self.chunk_lines
+        hi = min(lo + self.chunk_lines, self.region.lines)
+        if lo >= self.region.lines:
+            return rng.randrange(self.region.lines)
+        return rng.randrange(lo, hi)
+
+    def local_line(self, node: int, index: int) -> int:
+        """Deterministic mapping of a local cursor to node-homed lines
+        (used for append streams like history/log stripes)."""
+        chunks = self._chunks_by_node[node]
+        if not chunks:
+            return index % self.region.lines
+        chunk = chunks[(index // self.chunk_lines) % len(chunks)]
+        line = chunk * self.chunk_lines + index % self.chunk_lines
+        return line % self.region.lines
+
+
+def round_robin_home_layout(region: Region, num_nodes: int,
+                            granularity: int = 8192) -> List[int]:
+    """Which node is home for each chunk of a region (informational; the
+    AddressMap in :mod:`repro.mem.addr` is authoritative)."""
+    homes = []
+    for offset in range(0, region.bytes, granularity):
+        homes.append(((region.base + offset) // granularity) % num_nodes)
+    return homes

@@ -1,0 +1,115 @@
+"""Reference-trace recording and replay.
+
+Any workload's per-CPU item stream can be recorded to a compact on-disk
+trace and replayed later — useful for (a) freezing a workload for
+regression comparisons, (b) shipping reproducible inputs without the
+generator, and (c) inspecting streams offline.
+
+Format (version 1): a text header line ``#repro-trace v1 ilp=<float>``
+followed by one record per item: ``<instrs> <kind> <addr-hex> <dep>``
+where ``kind`` is the AccessKind integer or ``-`` for pure compute, and
+``dep`` is ``1``/``0``.  Gzip-compressed when the path ends in ``.gz``.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Optional, Union
+
+from ..core.messages import AccessKind
+from .base import Workload, WorkloadThread
+
+MAGIC = "#repro-trace v1"
+
+
+class TraceError(ValueError):
+    """Malformed trace input."""
+
+
+def _open(path: Union[str, Path], mode: str):
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
+
+
+def record_thread(thread, path: Union[str, Path],
+                  max_items: Optional[int] = None) -> int:
+    """Drain *thread* into a trace file; returns the item count."""
+    ilp = getattr(thread, "ilp", 1.0)
+    count = 0
+    with _open(path, "w") as fh:
+        fh.write(f"{MAGIC} ilp={ilp}\n")
+        for instrs, kind, addr, dep in thread:
+            kind_field = "-" if kind is None else str(int(kind))
+            fh.write(f"{instrs} {kind_field} {addr:x} {int(bool(dep))}\n")
+            count += 1
+            if max_items is not None and count >= max_items:
+                break
+    return count
+
+
+def read_trace(path: Union[str, Path]):
+    """Parse a trace file; returns (ilp, list of items)."""
+    with _open(path, "r") as fh:
+        header = fh.readline().rstrip("\n")
+        if not header.startswith(MAGIC):
+            raise TraceError(f"bad trace header: {header!r}")
+        try:
+            ilp = float(header.split("ilp=")[1])
+        except (IndexError, ValueError):
+            raise TraceError(f"bad ilp field in header: {header!r}") from None
+        items = []
+        for lineno, line in enumerate(fh, start=2):
+            parts = line.split()
+            if len(parts) != 4:
+                raise TraceError(f"line {lineno}: expected 4 fields")
+            instrs = int(parts[0])
+            kind = None if parts[1] == "-" else AccessKind(int(parts[1]))
+            addr = int(parts[2], 16)
+            dep = parts[3] == "1"
+            items.append((instrs, kind, addr, dep))
+    return ilp, items
+
+
+class TraceWorkload(Workload):
+    """Workload replaying recorded traces: one trace file per (node, cpu)."""
+
+    name = "trace"
+
+    def __init__(self, traces) -> None:
+        """``traces`` maps ``(node, cpu)`` to a trace path."""
+        self.traces = dict(traces)
+        self._loaded = {}
+
+    def thread_for(self, node: int, cpu: int) -> Optional[WorkloadThread]:
+        path = self.traces.get((node, cpu))
+        if path is None:
+            return None
+        if path not in self._loaded:
+            self._loaded[path] = read_trace(path)
+        ilp, items = self._loaded[path]
+        return WorkloadThread(iter(items), ilp=ilp,
+                              name=f"trace-n{node}c{cpu}")
+
+
+def record_workload(workload, directory: Union[str, Path],
+                    nodes: int, cpus_per_node: int,
+                    max_items: Optional[int] = None,
+                    compress: bool = True) -> "TraceWorkload":
+    """Record every thread of *workload* into *directory*; returns the
+    replaying TraceWorkload."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    suffix = ".trace.gz" if compress else ".trace"
+    traces = {}
+    for node in range(nodes):
+        for cpu in range(cpus_per_node):
+            thread = workload.thread_for(node, cpu)
+            if thread is None:
+                continue
+            path = directory / f"n{node}c{cpu}{suffix}"
+            record_thread(thread, path, max_items=max_items)
+            traces[(node, cpu)] = path
+    return TraceWorkload(traces)

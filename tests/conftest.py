@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+import os
+
+import pytest
+
+# Keep experiment-grade runs small inside the test suite; benchmarks use
+# the full scale.
+os.environ.setdefault("REPRO_SCALE", "1.0")
+
+from repro.core import CoherenceChecker, PiranhaSystem, preset  # noqa: E402
+from repro.sim import Simulator  # noqa: E402
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def p1_system():
+    """Single-node single-CPU Piranha with the coherence checker on."""
+    checker = CoherenceChecker()
+    system = PiranhaSystem(preset("P1"), num_nodes=1, checker=checker)
+    system.checker_fixture = checker
+    return system
+
+
+@pytest.fixture
+def p8_system():
+    checker = CoherenceChecker()
+    system = PiranhaSystem(preset("P8"), num_nodes=1, checker=checker)
+    system.checker_fixture = checker
+    return system
+
+
+@pytest.fixture
+def two_node_system():
+    """Two P2 nodes with the checker on (fast multi-node fixture)."""
+    checker = CoherenceChecker()
+    system = PiranhaSystem(preset("P2"), num_nodes=2, checker=checker)
+    system.checker_fixture = checker
+    return system
+
+
+def run_and_verify(system):
+    """Run a system to completion and verify coherence invariants."""
+    finish = system.run_to_completion()
+    checker = getattr(system, "checker_fixture", None)
+    if checker is not None:
+        checker.verify_quiesced()
+    return finish
+
+
+@pytest.fixture
+def run_checked():
+    return run_and_verify

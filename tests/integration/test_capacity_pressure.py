@@ -1,0 +1,107 @@
+"""Tests for the architecture's bounded resources under pressure.
+
+The TSRFs (16 entries/engine) and the per-bank pending tables (16
+entries) are hard architectural bounds; when they fill, input stalls —
+never drops, never NAKs.  These tests overcommit both and verify every
+transaction still completes.
+"""
+
+import pytest
+
+from repro.core import (
+    MESI,
+    AccessKind,
+    CoherenceChecker,
+    PiranhaSystem,
+    preset,
+)
+from repro.core.messages import MemRequest, request_for
+from repro.workloads.base import WorkloadThread
+
+
+def fire(system, node, cpu, kind, addr, log):
+    req = MemRequest(cpu_id=cpu, kind=kind, addr=addr, is_instr=False,
+                     done=lambda lat, src: log.append((node, addr)),
+                     node=node)
+    req.issue_time = system.sim.now
+    system.nodes[node].issue_miss(req, request_for(kind, MESI.INVALID))
+
+
+class TestTsrfExhaustion:
+    def test_home_engine_overcommit(self):
+        """Five requester nodes each firing eight distinct-line requests at
+        one home: far more concurrent home transactions than 16 TSRF
+        entries; the input controller stalls and drains them all."""
+        checker = CoherenceChecker()
+        system = PiranhaSystem(preset("P8"), num_nodes=5, checker=checker)
+        log = []
+        count = 0
+        for node in range(1, 5):
+            for cpu in range(8):
+                # lines homed at node 0, all distinct, same bank spread
+                addr = (cpu * 4 + node) * 64
+                fire(system, node, cpu, AccessKind.STORE, addr, log)
+                count += 1
+        system.sim.run()
+        assert len(log) == count
+        he = system.nodes[0].home_engine
+        assert he.tsrf.high_water == 16          # the bound was reached
+        assert he.c_tsrf_stalls.value > 0        # and input stalled
+        assert he.tsrf.occupancy() == 0          # and fully drained
+        checker.verify_quiesced()
+
+    def test_stalled_queue_preserves_requests(self):
+        system = PiranhaSystem(preset("P4"), num_nodes=2)
+        log = []
+        n = 40
+        for i in range(n):
+            fire(system, 1, i % 4, AccessKind.LOAD, i * 64, log)
+        system.sim.run()
+        assert len(log) == n
+        assert not system.nodes[0].home_engine.stalled
+
+
+class TestPendingTableOverflow:
+    def test_bank_overflow_queue(self):
+        """More concurrent distinct-line misses to one bank than its 16
+        pending entries: the overflow queue holds and replays them."""
+        system = PiranhaSystem(preset("P8"), num_nodes=1,
+                               checker=CoherenceChecker())
+        log = []
+        # 24 distinct lines all mapping to bank 0 (stride 8 lines)
+        for i in range(24):
+            fire(system, 0, i % 8, AccessKind.LOAD, i * 8 * 64, log)
+        system.sim.run()
+        assert len(log) == 24
+        bank = system.nodes[0].banks[0]
+        assert not bank.pending and not bank.overflow
+        system.checker.verify_quiesced()
+
+    def test_sixteen_tsrf_is_architectural(self):
+        from repro.core.tsrf import TSRF_ENTRIES
+
+        assert TSRF_ENTRIES == 16  # §2.5.1; CMI's buffering bound needs it
+
+
+class TestSaturationWorkload:
+    def test_all_cpus_hammering_one_bank(self):
+        """Worst-case bank pressure: every CPU missing into bank 0
+        continuously; throughput degrades but nothing wedges."""
+        system = PiranhaSystem(preset("P8"), num_nodes=1,
+                               checker=CoherenceChecker())
+
+        def thread(cpu):
+            def gen():
+                for i in range(120):
+                    # distinct bank-0 lines per cpu
+                    yield (1, AccessKind.LOAD,
+                           (cpu * 1024 + i) * 8 * 64, True)
+            return WorkloadThread(gen())
+
+        for cpu, core in enumerate(system.nodes[0].cpus):
+            core.attach(thread(cpu))
+        system.run_to_completion()
+        system.checker.verify_quiesced()
+        system.nodes[0].audit_duplicate_tags()
+        bank = system.nodes[0].banks[0]
+        assert bank.c_requests.value == 8 * 120

@@ -1,0 +1,111 @@
+"""Integration tests: whole workloads on single-chip systems."""
+
+import pytest
+
+from repro.core import CoherenceChecker, PiranhaSystem, preset
+from repro.workloads import (
+    DssParams,
+    DssWorkload,
+    MicroParams,
+    MigratoryWrites,
+    OltpParams,
+    OltpWorkload,
+    PrivateStream,
+    SharedReadOnly,
+)
+
+SMALL_OLTP = OltpParams(transactions=20, warmup_transactions=30)
+SMALL_DSS = DssParams(rows=40, warmup_rows=10)
+
+
+def run(config_name, workload, nodes=1, check=True):
+    checker = CoherenceChecker() if check else None
+    system = PiranhaSystem(preset(config_name), num_nodes=nodes,
+                           checker=checker)
+    system.attach_workload(workload)
+    finish = system.run_to_completion()
+    if checker:
+        checker.verify_quiesced()
+    return system, finish
+
+
+class TestOltpSingleChip:
+    def test_p8_runs_to_completion_coherently(self):
+        system, finish = run(
+            "P8", OltpWorkload(SMALL_OLTP, cpus_per_node=8))
+        assert finish > 0
+        summary = system.execution_summary()
+        assert summary["instructions"] > 0
+        assert summary["total_ps"] > 0
+
+    def test_breakdown_fractions_sum_to_one(self):
+        system, _ = run("P4", OltpWorkload(SMALL_OLTP, cpus_per_node=4))
+        s = system.execution_summary()
+        total = s["busy_ps"] + s["l2_stall_ps"] + s["mem_stall_ps"]
+        assert total == s["total_ps"]
+
+    def test_oltp_exercises_all_service_classes(self):
+        system, _ = run("P8", OltpWorkload(SMALL_OLTP, cpus_per_node=8))
+        mb = system.miss_breakdown()
+        assert mb["l2_hit"] > 0
+        assert mb["l2_fwd"] > 0   # communication misses
+        assert mb["l2_miss"] > 0  # memory misses
+
+    def test_ooo_faster_than_ino_than_p1(self):
+        """Figure 5's single-CPU ordering must hold even at tiny scale."""
+        times = {}
+        for name in ("P1", "INO", "OOO"):
+            wl = OltpWorkload(SMALL_OLTP, cpus_per_node=1)
+            system, _ = run(name, wl, check=False)
+            times[name] = max(c.total_ps for c in system.all_cpus())
+        assert times["OOO"] < times["INO"] < times["P1"]
+
+
+class TestDssSingleChip:
+    def test_dss_is_busy_dominated(self):
+        system, _ = run("P8", DssWorkload(SMALL_DSS, cpus_per_node=8))
+        s = system.execution_summary()
+        assert s["busy_ps"] / s["total_ps"] > 0.7
+
+    def test_dss_scales_nearly_linearly(self):
+        per_cpu = {}
+        for n in (1, 8):
+            wl = DssWorkload(SMALL_DSS, cpus_per_node=n)
+            system, _ = run(f"P{n}", wl, check=False)
+            per_cpu[n] = max(c.total_ps for c in system.all_cpus())
+        assert per_cpu[8] / per_cpu[1] < 1.1  # almost no slowdown per CPU
+
+
+class TestMicrobenchmarks:
+    def test_private_stream_no_sharing_traffic(self):
+        system, _ = run("P4", PrivateStream(
+            MicroParams(iterations=300, warmup=50), cpus_per_node=4))
+        mb = system.miss_breakdown()
+        assert mb["l2_fwd"] == 0
+
+    def test_shared_read_produces_forwards(self):
+        system, _ = run("P4", SharedReadOnly(
+            MicroParams(iterations=300, warmup=50, lines=64), cpus_per_node=4))
+        mb = system.miss_breakdown()
+        assert mb["l2_fwd"] > 0
+
+    def test_migratory_ping_pong(self):
+        system, _ = run("P4", MigratoryWrites(
+            MicroParams(iterations=300, warmup=50), cpus_per_node=4))
+        mb = system.miss_breakdown()
+        # migratory lines bounce between L1s, not through memory
+        assert mb["l2_fwd"] > mb["l2_miss"]
+
+
+class TestNonInclusionPayoff:
+    def test_on_chip_capacity_grows_with_cpus(self):
+        """§4: adding CPUs (and their L1s) in the non-inclusive hierarchy
+        increases the total on-chip memory (P8 doubles P1's)."""
+        resident = {}
+        for n in (1, 8):
+            wl = SharedReadOnly(
+                MicroParams(iterations=2000, warmup=100, lines=20000),
+                cpus_per_node=n)
+            system, _ = run(f"P{n}", wl, check=False)
+            resident[n] = system.nodes[0].on_chip_resident_bytes()
+        assert resident[8] > resident[1] * 1.2

@@ -1,0 +1,69 @@
+"""Property-based tests on cache-structure invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MESI, AccessKind, L1Params
+from repro.core.l1 import L1Cache
+
+lines = st.integers(min_value=0, max_value=4095).map(lambda i: i * 64)
+
+
+class TestL1Invariants:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(lines, min_size=1, max_size=300))
+    def test_associativity_never_exceeded(self, addrs):
+        l1 = L1Cache(L1Params(size_bytes=4096, assoc=2), 0, False)
+        for addr in addrs:
+            l1.fill(addr, MESI.SHARED, owner=False)
+        for s in l1.sets:
+            assert len(s) <= 2
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(lines, min_size=1, max_size=300))
+    def test_resident_count_bounded_by_capacity(self, addrs):
+        l1 = L1Cache(L1Params(size_bytes=4096, assoc=2), 0, False)
+        for addr in addrs:
+            l1.fill(addr, MESI.EXCLUSIVE, owner=True)
+        assert l1.resident_lines() <= 4096 // 64
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(lines, min_size=1, max_size=200))
+    def test_fill_then_lookup_hits(self, addrs):
+        """The most recent fill of a set is always still resident."""
+        l1 = L1Cache(L1Params(size_bytes=4096, assoc=2), 0, False)
+        for addr in addrs:
+            l1.fill(addr, MESI.SHARED, owner=False)
+            assert l1.lookup(addr, AccessKind.LOAD).hit
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(lines, st.booleans()), min_size=1, max_size=200))
+    def test_eviction_conservation(self, ops):
+        """fills - evictions == resident lines (nothing vanishes)."""
+        l1 = L1Cache(L1Params(size_bytes=4096, assoc=2), 0, False)
+        installed = 0
+        evicted = 0
+        resident = set()
+        for addr, _ in ops:
+            if addr in resident:
+                l1.fill(addr, MESI.SHARED, owner=False)
+                continue
+            ev = l1.fill(addr, MESI.SHARED, owner=False)
+            installed += 1
+            resident.add(addr)
+            if ev is not None:
+                evicted += 1
+                resident.discard(ev.addr)
+        assert l1.resident_lines() == installed - evicted == len(resident)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(lines, min_size=1, max_size=100), lines)
+    def test_invalidate_removes_exactly_one(self, addrs, target):
+        l1 = L1Cache(L1Params(size_bytes=8192, assoc=2), 0, False)
+        for addr in addrs:
+            l1.fill(addr, MESI.SHARED, owner=False)
+        before = l1.resident_lines()
+        removed = l1.invalidate(target)
+        after = l1.resident_lines()
+        assert after == before - (1 if removed is not None else 0)
+        assert l1.peek(target) is None

@@ -1,0 +1,36 @@
+"""Property-based tests for cruise-missile invalidation planning."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interconnect import MAX_CMI_MESSAGES, mesh2d, plan_cmi, ring
+
+nodes16 = st.integers(min_value=0, max_value=15)
+
+
+class TestCmiPlanProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.sets(nodes16, max_size=16), nodes16, nodes16)
+    def test_plan_invariants(self, sharers, home, requester):
+        topo = mesh2d(4, 4)
+        plan = plan_cmi(topo, home, requester, sharers)
+        # 1. bounded injection (the paper's linear-buffering prerequisite)
+        assert plan.messages_injected <= MAX_CMI_MESSAGES
+        # 2. exact coverage of everyone but the requester
+        assert plan.covered() == frozenset(sharers) - {requester}
+        # 3. chains are disjoint (each node invalidated exactly once)
+        seen = []
+        for chain in plan.chains:
+            seen.extend(chain)
+        assert len(seen) == len(set(seen))
+        # 4. no empty chains
+        assert all(chain for chain in plan.chains)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sets(st.integers(min_value=0, max_value=9), min_size=5,
+                   max_size=10))
+    def test_chains_balanced(self, sharers):
+        topo = ring(10)
+        plan = plan_cmi(topo, 0, 0, sharers)
+        lengths = [len(c) for c in plan.chains]
+        assert max(lengths) - min(lengths) <= 1

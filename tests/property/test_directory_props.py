@@ -1,0 +1,62 @@
+"""Property-based tests for the 44-bit directory codec (§2.5.2)."""
+
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.core.directory import (
+    DIRECTORY_BITS,
+    MAX_POINTERS,
+    DirectoryEntry,
+    DirState,
+    add_sharer,
+    decode,
+    encode,
+    make_exclusive,
+)
+
+N = 1024
+nodes = st.integers(min_value=0, max_value=N - 1)
+
+
+class TestDirectoryProperties:
+    @given(st.sets(nodes, min_size=1, max_size=MAX_POINTERS))
+    def test_limited_pointer_exact(self, sharers):
+        entry = DirectoryEntry(DirState.SHARED, frozenset(sharers), None)
+        out = decode(encode(entry, N), N)
+        assert out.sharers == frozenset(sharers)
+
+    @given(st.sets(nodes, min_size=1, max_size=60))
+    def test_coarse_vector_superset(self, sharers):
+        entry = DirectoryEntry(DirState.SHARED_COARSE, frozenset(sharers), None)
+        out = decode(encode(entry, N), N)
+        assert out.sharers >= frozenset(sharers)
+
+    @given(nodes)
+    def test_exclusive_roundtrip(self, owner):
+        out = decode(encode(make_exclusive(owner), N), N)
+        assert out.owner == owner
+        assert out.state == DirState.EXCLUSIVE
+
+    @given(st.lists(nodes, min_size=1, max_size=40, unique=True))
+    def test_incremental_add_never_loses_sharers(self, order):
+        """Whatever the add order, the decoded entry covers every sharer
+        (pointer form exactly; coarse form as a superset)."""
+        entry = DirectoryEntry.uncached()
+        for node in order:
+            entry = add_sharer(entry, node, N)
+        out = decode(encode(entry, N), N)
+        assert out.sharers >= frozenset(order)
+
+    @given(st.sets(nodes, min_size=MAX_POINTERS + 1, max_size=50))
+    def test_overflow_switches_representation(self, sharers):
+        entry = DirectoryEntry.uncached()
+        for node in sharers:
+            entry = add_sharer(entry, node, N)
+        assert entry.state == DirState.SHARED_COARSE
+
+    @given(st.sets(nodes, min_size=1, max_size=60))
+    def test_encoding_fits_44_bits(self, sharers):
+        state = (DirState.SHARED if len(sharers) <= MAX_POINTERS
+                 else DirState.SHARED_COARSE)
+        entry = DirectoryEntry(state, frozenset(sharers), None)
+        assert 0 <= encode(entry, N) < (1 << DIRECTORY_BITS)

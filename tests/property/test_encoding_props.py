@@ -1,0 +1,59 @@
+"""Property-based tests for the DC-balanced channel code (§2.6.1)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interconnect import (
+    WORD_WEIGHT,
+    decode,
+    encode,
+    is_balanced,
+    popcount,
+)
+
+payloads = st.integers(min_value=0, max_value=(1 << 18) - 1)
+bits = st.integers(min_value=0, max_value=1)
+
+
+class TestEncodingProperties:
+    @given(payloads, bits)
+    def test_roundtrip(self, value, rnd):
+        assert decode(encode(value, rnd)) == (value, rnd)
+
+    @given(payloads, bits)
+    def test_always_dc_balanced(self, value, rnd):
+        word = encode(value, rnd)
+        assert popcount(word) == WORD_WEIGHT
+        assert is_balanced(word)
+
+    @given(payloads)
+    def test_injective_over_payloads(self, value):
+        # encode is injective: a different payload nearby never collides
+        other = (value + 1) % (1 << 18)
+        assert encode(value, 0) != encode(other, 0)
+
+    @given(payloads)
+    def test_random_bit_inverts_all_wires(self, value):
+        assert encode(value, 1) == encode(value, 0) ^ ((1 << 22) - 1)
+
+    @given(payloads, bits, st.integers(min_value=0, max_value=21))
+    def test_single_wire_error_always_detected(self, value, rnd, wire):
+        """Flipping any single wire breaks DC balance and is detected."""
+        corrupted = encode(value, rnd) ^ (1 << wire)
+        assert not is_balanced(corrupted)
+
+    @given(payloads, bits, st.integers(min_value=0, max_value=21),
+           st.integers(min_value=0, max_value=21))
+    def test_double_error_never_silently_wrong_payload(self, value, rnd,
+                                                       w1, w2):
+        """Two wire flips either keep balance (and may alias) or are
+        detected; aliasing must never decode to a *different random bit
+        with the same payload-complement confusion* — i.e., decode either
+        raises or yields a legal (payload, bit) pair."""
+        word = encode(value, rnd) ^ (1 << w1) ^ (1 << w2)
+        try:
+            payload, bit = decode(word)
+        except Exception:
+            return
+        assert 0 <= payload < (1 << 18)
+        assert bit in (0, 1)

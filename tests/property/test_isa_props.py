@@ -1,0 +1,87 @@
+"""Property-based tests for the ISA encoder/decoder and ALU semantics."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import FunctionalCpu, Instruction, Mnemonic, SharedMemory, decode, encode
+from repro.isa.cpu import MASK64
+from repro.isa.encoding import FORMATS, Format
+
+regs = st.integers(min_value=0, max_value=31)
+mem_disp = st.integers(min_value=-32768, max_value=32767)
+br_disp = st.integers(min_value=-(1 << 20), max_value=(1 << 20) - 1)
+literals = st.integers(min_value=0, max_value=255)
+operate_mnems = st.sampled_from(
+    [m for m in Mnemonic if FORMATS[m] == Format.OPERATE])
+memory_mnems = st.sampled_from(
+    [m for m in Mnemonic if FORMATS[m] == Format.MEMORY])
+branch_mnems = st.sampled_from(
+    [m for m in Mnemonic if FORMATS[m] == Format.BRANCH])
+
+
+class TestEncodingRoundtrip:
+    @given(memory_mnems, regs, regs, mem_disp)
+    def test_memory_format(self, mnem, ra, rb, disp):
+        instr = Instruction(mnem, ra=ra, rb=rb, disp=disp)
+        assert decode(encode(instr)) == instr
+
+    @given(branch_mnems, regs, br_disp)
+    def test_branch_format(self, mnem, ra, disp):
+        instr = Instruction(mnem, ra=ra, disp=disp)
+        assert decode(encode(instr)) == instr
+
+    @given(operate_mnems, regs, regs, regs)
+    def test_operate_register_form(self, mnem, ra, rb, rc):
+        instr = Instruction(mnem, ra=ra, rb=rb, rc=rc)
+        assert decode(encode(instr)) == instr
+
+    @given(operate_mnems, regs, literals, regs)
+    def test_operate_literal_form(self, mnem, ra, lit, rc):
+        instr = Instruction(mnem, ra=ra, literal=lit, rc=rc)
+        assert decode(encode(instr)) == instr
+
+
+values = st.integers(min_value=0, max_value=MASK64)
+
+
+def run_op(mnem, a, b):
+    cpu = FunctionalCpu([
+        encode(Instruction(mnem, ra=1, rb=2, rc=3)),
+        encode(Instruction(Mnemonic.HALT)),
+    ], SharedMemory())
+    cpu.state.regs[1] = a
+    cpu.state.regs[2] = b
+    cpu.run()
+    return cpu.state.regs[3]
+
+
+class TestAluSemantics:
+    @given(values, values)
+    def test_addq_mod_2_64(self, a, b):
+        assert run_op(Mnemonic.ADDQ, a, b) == (a + b) & MASK64
+
+    @given(values, values)
+    def test_subq_mod_2_64(self, a, b):
+        assert run_op(Mnemonic.SUBQ, a, b) == (a - b) & MASK64
+
+    @given(values, values)
+    def test_logic_ops(self, a, b):
+        assert run_op(Mnemonic.AND, a, b) == a & b
+        assert run_op(Mnemonic.BIS, a, b) == a | b
+        assert run_op(Mnemonic.XOR, a, b) == a ^ b
+
+    @given(values, st.integers(min_value=0, max_value=63))
+    def test_shifts(self, a, sh):
+        assert run_op(Mnemonic.SLL, a, sh) == (a << sh) & MASK64
+        assert run_op(Mnemonic.SRL, a, sh) == a >> sh
+
+    @given(values, values)
+    def test_compare_flags_are_boolean(self, a, b):
+        for mnem in (Mnemonic.CMPEQ, Mnemonic.CMPLT, Mnemonic.CMPLE):
+            assert run_op(mnem, a, b) in (0, 1)
+
+    @given(values)
+    def test_cmpeq_reflexive(self, a):
+        assert run_op(Mnemonic.CMPEQ, a, a) == 1
+        assert run_op(Mnemonic.CMPLE, a, a) == 1
+        assert run_op(Mnemonic.CMPLT, a, a) == 0

@@ -1,0 +1,51 @@
+"""Unit tests for the floor-plan area model (Figure 9, §5)."""
+
+import pytest
+
+from repro.area import ModuleArea, estimate_modules, floorplan_summary
+from repro.core import OOO, PIRANHA_P1, PIRANHA_P8
+
+
+class TestFigure9Budget:
+    def test_cores_and_caches_dominate(self):
+        """Figure 9: roughly 75% of the processing node is CPUs + L1/L2."""
+        summary = floorplan_summary(PIRANHA_P8)
+        assert 0.70 <= summary["cores_and_caches_fraction"] <= 0.85
+
+    def test_remaining_groups_present(self):
+        groups = floorplan_summary(PIRANHA_P8)["by_group_mm2"]
+        for group in ("memory", "interconnect", "engine", "misc"):
+            assert groups.get(group, 0) > 0
+
+
+class TestModuleInventory:
+    def test_eight_of_each_replicated_module(self):
+        modules = {m.name: m for m in estimate_modules(PIRANHA_P8)}
+        assert modules["CPU core"].count == 8
+        assert modules["iL1"].count == 8
+        assert modules["dL1"].count == 8
+        assert modules["L2 bank"].count == 8
+        assert modules["Memory controller"].count == 8
+
+    def test_two_protocol_engines(self):
+        modules = [m for m in estimate_modules(PIRANHA_P8)
+                   if m.group == "engine"]
+        assert len(modules) == 2
+
+    def test_p1_smaller_than_p8(self):
+        assert (floorplan_summary(PIRANHA_P1)["total_mm2"]
+                < floorplan_summary(PIRANHA_P8)["total_mm2"])
+
+    def test_ooo_core_larger_than_piranha_core(self):
+        """A 4-issue out-of-order core dwarfs the simple in-order core."""
+        piranha_core = next(m for m in estimate_modules(PIRANHA_P8)
+                            if m.name == "CPU core")
+        ooo_core = next(m for m in estimate_modules(OOO)
+                        if m.name == "CPU core")
+        assert ooo_core.area_mm2 > 3 * piranha_core.area_mm2
+
+    def test_total_is_sum(self):
+        modules = estimate_modules(PIRANHA_P8)
+        summary = floorplan_summary(PIRANHA_P8)
+        assert summary["total_mm2"] == pytest.approx(
+            sum(m.total_mm2 for m in modules))

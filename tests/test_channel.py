@@ -1,0 +1,78 @@
+"""Unit tests for the bit-level channel (framing, CRC, retransmission)."""
+
+import pytest
+
+from repro.interconnect import BitSerialChannel, ChannelError, Packet, PacketType
+from repro.interconnect.channel import packet_to_words, words_to_packet
+
+
+class TestFraming:
+    def test_short_packet_is_8_words(self):
+        pkt = Packet(PacketType.READ, src=1, dst=2, addr=0x1000)
+        assert len(packet_to_words(pkt)) == 8
+
+    def test_long_packet_is_40_words(self):
+        pkt = Packet(PacketType.DATA_REPLY, src=1, dst=2, addr=0x1000)
+        pkt.info["data_image"] = bytes(64)
+        assert len(packet_to_words(pkt)) == 40
+
+    def test_frame_roundtrip_with_data(self):
+        pkt = Packet(PacketType.DATA_REPLY, src=9, dst=4, addr=0x2040,
+                     txn_id=99)
+        pkt.info["data_image"] = bytes(range(64))
+        out = words_to_packet(packet_to_words(pkt))
+        assert out.info["data_image"] == bytes(range(64))
+        assert out.src == 9 and out.dst == 4 and out.txn_id == 99
+
+    def test_bad_frame_length(self):
+        with pytest.raises(ValueError):
+            words_to_packet([0] * 9)
+
+    def test_wrong_data_length_rejected(self):
+        pkt = Packet(PacketType.DATA_REPLY, src=0, dst=1)
+        pkt.info["data_image"] = b"short"
+        with pytest.raises(ValueError):
+            packet_to_words(pkt)
+
+
+class TestCleanChannel:
+    def test_transfer_no_errors(self):
+        ch = BitSerialChannel(error_rate=0.0, seed=1)
+        pkt = Packet(PacketType.READ, src=0, dst=1, addr=0x40, txn_id=5)
+        out = ch.transfer(pkt)
+        assert out.addr == 0x40 and out.txn_id == 5
+        assert ch.log.retries == 0
+        assert ch.log.attempts == 1
+
+
+class TestErrorRecovery:
+    def test_errors_detected_and_retransmitted(self):
+        ch = BitSerialChannel(error_rate=0.01, seed=7, max_retries=50)
+        pkt = Packet(PacketType.DATA_REPLY, src=2, dst=3, addr=0x1000)
+        pkt.info["data_image"] = bytes(range(64))
+        successes = 0
+        for _ in range(20):
+            out = ch.transfer(pkt)
+            assert out.info["data_image"] == bytes(range(64))
+            successes += 1
+        assert successes == 20
+        assert ch.log.errors_injected > 0
+        assert ch.log.retries > 0
+
+    def test_gives_up_after_max_retries(self):
+        ch = BitSerialChannel(error_rate=0.9, seed=3, max_retries=2)
+        pkt = Packet(PacketType.READ, src=0, dst=1)
+        with pytest.raises(ChannelError):
+            for _ in range(50):
+                ch.transfer(pkt)
+
+    def test_invalid_error_rate(self):
+        with pytest.raises(ValueError):
+            BitSerialChannel(error_rate=1.5)
+
+    def test_wire_words_are_balanced(self):
+        from repro.interconnect import is_balanced
+
+        ch = BitSerialChannel(error_rate=0.0, seed=1)
+        ch.transfer(Packet(PacketType.READ, src=0, dst=1))
+        assert all(is_balanced(w) for w in ch.log.wire_words)

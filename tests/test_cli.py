@@ -1,0 +1,39 @@
+"""Unit tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "P8" in out and "oltp" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "500 MHz" in out and "16 ns / 24 ns" in out
+
+    def test_floorplan(self, capsys):
+        assert main(["floorplan"]) == 0
+        out = capsys.readouterr().out
+        assert "CPU core" in out and "cores + caches" in out
+
+    def test_run_small(self, capsys):
+        assert main(["run", "--config", "P1", "--workload", "dss",
+                     "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "simulated time" in out
+        assert "L1 misses" in out
+
+    def test_run_with_checker(self, capsys):
+        assert main(["run", "--config", "P2", "--workload", "migratory",
+                     "--scale", "0.2", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "audit: OK" in out
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--config", "P99"])

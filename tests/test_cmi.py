@@ -1,0 +1,86 @@
+"""Unit tests for cruise-missile invalidates (§2.5.3)."""
+
+import pytest
+
+from repro.interconnect import (
+    MAX_CMI_MESSAGES,
+    buffering_bound,
+    cmi_latency,
+    fanout_latency,
+    fanout_messages,
+    mesh2d,
+    plan_cmi,
+    ring,
+)
+
+
+class TestPlanning:
+    def test_covers_all_sharers(self):
+        topo = mesh2d(4, 4)
+        sharers = set(range(16)) - {0, 5}
+        plan = plan_cmi(topo, home=5, requester=0, sharers=sharers | {0})
+        assert plan.covered() == frozenset(sharers)
+
+    def test_at_most_four_messages(self):
+        topo = mesh2d(5, 5)
+        plan = plan_cmi(topo, home=0, requester=1, sharers=range(25))
+        assert plan.messages_injected <= MAX_CMI_MESSAGES
+
+    def test_one_ack_per_chain(self):
+        topo = ring(10)
+        plan = plan_cmi(topo, home=0, requester=1, sharers=range(2, 10))
+        assert plan.acks_generated == plan.messages_injected
+
+    def test_requester_never_invalidated(self):
+        topo = ring(8)
+        plan = plan_cmi(topo, home=0, requester=3, sharers=range(8))
+        assert 3 not in plan.covered()
+
+    def test_empty_sharers(self):
+        topo = ring(4)
+        plan = plan_cmi(topo, home=0, requester=1, sharers=[1])
+        assert plan.messages_injected == 0
+
+    def test_few_sharers_one_each(self):
+        topo = ring(8)
+        plan = plan_cmi(topo, home=0, requester=1, sharers=[2, 3])
+        assert plan.messages_injected == 2
+        assert all(len(c) == 1 for c in plan.chains)
+
+    def test_deterministic(self):
+        topo = mesh2d(4, 4)
+        a = plan_cmi(topo, 0, 1, range(16))
+        b = plan_cmi(topo, 0, 1, range(16))
+        assert a == b
+
+
+class TestBufferingBound:
+    def test_paper_bound_128_headers(self):
+        """2 engines x 16 TSRFs x 4 invalidations = 128 message headers —
+        independent of the number of nodes."""
+        assert buffering_bound() == 128
+
+    def test_bound_independent_of_node_count(self):
+        assert buffering_bound() == buffering_bound()  # no node parameter
+
+
+class TestLatencyComparison:
+    def test_cmi_beats_fanout_for_large_sharer_sets(self):
+        """CMI avoids the injection/gather serialisation at home and
+        requester."""
+        topo = mesh2d(5, 5)
+        sharers = list(range(2, 25))
+        plan = plan_cmi(topo, home=0, requester=1, sharers=sharers)
+        t_cmi = cmi_latency(topo, plan, hop_ns=8.0, visit_ns=10.0)
+        t_fan = fanout_latency(topo, home=0, requester=1, sharers=sharers,
+                               hop_ns=8.0, visit_ns=10.0,
+                               inject_ns=6.0, gather_ns=6.0)
+        assert t_cmi < t_fan
+
+    def test_fanout_message_count_scales_with_sharers(self):
+        injected, acks = fanout_messages(list(range(2, 20)), requester=1)
+        assert injected == 18 and acks == 18
+
+    def test_fanout_empty(self):
+        topo = ring(4)
+        assert fanout_latency(topo, 0, 1, [1], 8, 10, 6, 6) == 0.0

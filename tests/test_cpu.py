@@ -1,0 +1,130 @@
+"""Unit tests for the CPU core models."""
+
+import pytest
+
+from repro.core import AccessKind, CoherenceChecker, PiranhaSystem, preset
+from repro.core.cpu import WARMUP_DONE, InOrderCpu, OooCpu, make_cpu
+from repro.workloads.base import WorkloadThread
+
+
+def run_items(config_name, items, ilp=1.0):
+    system = PiranhaSystem(preset(config_name), num_nodes=1)
+    cpu = system.nodes[0].cpus[0]
+    cpu.attach(WorkloadThread(iter(items), ilp=ilp))
+    system.start()
+    system.sim.run()
+    assert cpu.finished
+    return system, cpu
+
+
+class TestFactory:
+    def test_inorder_for_piranha(self):
+        system = PiranhaSystem(preset("P1"), num_nodes=1)
+        assert isinstance(system.nodes[0].cpus[0], InOrderCpu)
+
+    def test_ooo_for_baseline(self):
+        system = PiranhaSystem(preset("OOO"), num_nodes=1)
+        assert isinstance(system.nodes[0].cpus[0], OooCpu)
+
+
+class TestInOrderTiming:
+    def test_pure_compute_time(self):
+        # 1000 instructions at 500 MHz = 2000 ns
+        _, cpu = run_items("P1", [(1000, None, 0, True)])
+        assert cpu.busy_ps == 2_000_000
+        assert cpu.total_ps == 2_000_000
+
+    def test_l1_hit_folded_into_busy(self):
+        items = [(10, AccessKind.LOAD, 0x40, True)] * 5
+        _, cpu = run_items("P1", items)
+        # first access misses; the remaining four hit and add no stall
+        assert cpu.misses == 1
+        assert cpu.refs == 5
+
+    def test_miss_stalls_full_latency(self):
+        _, cpu = run_items("P1", [(0, AccessKind.LOAD, 0x40, True)])
+        assert cpu.stall_memory_ps == pytest.approx(80_000, abs=2_000)
+
+    def test_breakdown_buckets(self):
+        system, cpu0 = run_items("P1", [(0, AccessKind.LOAD, 0x40, True)])
+        assert cpu0.stall_on_chip_ps == 0
+        assert cpu0.stall_memory_ps > 0
+
+    def test_instruction_count(self):
+        _, cpu = run_items("P1", [(7, AccessKind.LOAD, 0x40, True)] * 3)
+        assert cpu.instructions == 21
+
+
+class TestOooTiming:
+    def test_issue_width_scales_busy(self):
+        # ilp 4 on a 4-issue core at 1 GHz: 1000 instrs in 250 ns
+        _, cpu = run_items("OOO", [(1000, None, 0, True)], ilp=4.0)
+        assert cpu.busy_ps == pytest.approx(250_000, abs=1000)
+
+    def test_ilp_limits_issue(self):
+        # workload ILP 1.0 means no speedup from width
+        _, cpu = run_items("OOO", [(1000, None, 0, True)], ilp=1.0)
+        assert cpu.busy_ps == pytest.approx(1_000_000, abs=1000)
+
+    def test_dependent_miss_partially_hidden(self):
+        _, cpu = run_items("OOO", [(0, AccessKind.LOAD, 0x40, True)])
+        # 80 ns miss, 6 ns window overlap
+        assert cpu.stall_memory_ps == pytest.approx(74_000, abs=2_000)
+
+    def test_streaming_misses_fully_overlap(self):
+        # independent loads to distinct lines: stall ~0
+        items = [(50, AccessKind.LOAD, i * 64, False) for i in range(16)]
+        _, cpu = run_items("OOO", items)
+        assert cpu.stall_memory_ps == 0
+        assert cpu.misses == 16
+
+    def test_mshr_limit_blocks_streaming(self):
+        # no compute between misses: more than max_outstanding in flight
+        # forces the extra ones onto the dependent path
+        items = [(0, AccessKind.LOAD, i * 64, False) for i in range(32)]
+        _, cpu = run_items("OOO", items)
+        assert cpu.stall_memory_ps > 0
+
+
+class TestWarmupMarker:
+    def test_marker_resets_accounting(self):
+        items = (
+            [(100, AccessKind.LOAD, i * 64, True) for i in range(8)]
+            + [(0, None, WARMUP_DONE, True)]
+            + [(50, None, 0, True)]
+        )
+        system, cpu = run_items("P1", items)
+        # after the marker only the 50-instruction tail is accounted
+        assert cpu.instructions == 50
+        assert cpu.busy_ps == 100_000
+        assert cpu.misses == 0
+
+    def test_system_resets_module_stats(self):
+        items = (
+            [(0, AccessKind.LOAD, 0x40, True)]
+            + [(0, None, WARMUP_DONE, True)]
+            + [(10, None, 0, True)]
+        )
+        system, cpu = run_items("P1", items)
+        bank = system.nodes[0].bank_for(0x40)
+        assert bank.c_requests.value == 0  # reset at warm-up
+
+
+class TestStallAttribution:
+    def test_sources_separated(self):
+        system = PiranhaSystem(preset("P8"), num_nodes=1,
+                               checker=CoherenceChecker())
+        node = system.nodes[0]
+        # cpu0 writes a line, cpu1 reads it (fwd), then a cold line (mem)
+        node.cpus[0].attach(WorkloadThread(iter(
+            [(0, AccessKind.STORE, 0x40, True)])))
+        node.cpus[1].attach(WorkloadThread(iter(
+            [(500, None, 0, True),
+             (0, AccessKind.LOAD, 0x40, True),
+             (0, AccessKind.LOAD, 0x9000, True)])))
+        system.start()
+        system.sim.run()
+        cpu1 = node.cpus[1]
+        assert cpu1.stall_on_chip_ps > 0    # the forward
+        assert cpu1.stall_memory_ps > 0     # the cold miss
+        system.checker.verify_quiesced()

@@ -1,0 +1,32 @@
+"""Unit tests for the channel CRC."""
+
+import pytest
+
+from repro.interconnect import crc16, crc16_bitwise, crc16_words
+
+
+class TestCrc16:
+    def test_table_matches_bitwise(self):
+        for data in (b"", b"\x00", b"piranha", bytes(range(256))):
+            assert crc16(data) == crc16_bitwise(data)
+
+    def test_known_vector(self):
+        # CRC-16/CCITT-FALSE of "123456789" is 0x29B1
+        assert crc16(b"123456789") == 0x29B1
+
+    def test_detects_single_byte_change(self):
+        base = crc16(b"hello world")
+        assert crc16(b"hellp world") != base
+
+    def test_detects_transposition(self):
+        assert crc16(b"ab") != crc16(b"ba")
+
+
+class TestCrcWords:
+    def test_word_crc_matches_bytes(self):
+        words = [0x1234, 0x5678]
+        assert crc16_words(words) == crc16(b"\x12\x34\x56\x78")
+
+    def test_rejects_wide_words(self):
+        with pytest.raises(ValueError):
+            crc16_words([1 << 16])

@@ -1,0 +1,60 @@
+"""Unit tests for the experiment harness and reporting."""
+
+import pytest
+
+from repro.harness import (
+    breakdown_bar,
+    format_table,
+    paper_vs_measured,
+    series,
+    table1_parameters,
+)
+from repro.harness.runner import RunResult
+
+
+class TestReporting:
+    def test_format_table(self):
+        out = format_table(["a", "bb"], [[1, 2.5], ["x", "y"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "2.50" in out
+
+    def test_paper_vs_measured(self):
+        out = paper_vs_measured("X", [("speedup", 2.9, 3.03)])
+        assert "paper" in out and "measured" in out
+        assert "2.90" in out and "3.03" in out
+
+    def test_paper_vs_measured_with_note(self):
+        out = paper_vs_measured("X", [("m", 1, 2, "close")])
+        assert "note" in out and "close" in out
+
+    def test_breakdown_bar_normalises(self):
+        out = breakdown_bar("P8", 0.5, 0.3, 0.2, width=10)
+        bar = out[out.index("[") + 1:out.index("]")]
+        assert bar.count("#") == 5
+        assert bar.count("=") == 3
+        assert bar.count(".") == 2
+
+    def test_series(self):
+        out = series("speedup", {1: 1.0, 8: 6.9})
+        assert "1:1.00" in out and "8:6.90" in out
+
+
+class TestTable1Harness:
+    def test_columns_match_paper(self):
+        t = table1_parameters()
+        assert t["P8"]["Processor Speed"] == "500 MHz"
+        assert t["P8F"]["Processor Speed"] == "1.25 GHz"
+        assert t["OOO"]["Issue Width"] == 4
+
+
+class TestRunResult:
+    def test_normalized_breakdown(self):
+        r = RunResult(
+            config="P8", cpus=8, nodes=1, workload="oltp", units=10,
+            time_per_unit_ns=1000.0, throughput=1e6,
+            busy_frac=0.5, l2_frac=0.3, mem_frac=0.2,
+            miss_hit_frac=0.6, miss_fwd_frac=0.3, miss_mem_frac=0.1,
+        )
+        assert r.normalized_breakdown == (0.5, 0.3, 0.2)

@@ -1,0 +1,67 @@
+"""Unit tests for the intra-chip switch (§2.2)."""
+
+import pytest
+
+from repro.core import PIRANHA_P8
+from repro.core.ics import BYTES_PER_CYCLE, DATAPATHS, LANE_HIGH, LANE_LOW, IntraChipSwitch
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def ics(sim):
+    return IntraChipSwitch(sim, "ics", PIRANHA_P8)
+
+
+class TestTransferDelay:
+    def test_base_latency(self, ics):
+        # unloaded: configured ICS crossing latency (2 ns on P8)
+        assert ics.transfer_delay(16) == 2000
+
+    def test_delay_independent_of_size_when_unloaded(self, ics):
+        assert ics.transfer_delay(64) == 2000
+
+    def test_invalid_size(self, ics):
+        with pytest.raises(ValueError):
+            ics.transfer_delay(0)
+
+    def test_invalid_lane(self, ics):
+        with pytest.raises(ValueError):
+            ics.transfer_delay(8, lane=2)
+
+
+class TestOccupancy:
+    def test_datapaths_fill_before_queueing(self, ics):
+        # 8 datapaths: the first 8 concurrent transfers see no queueing
+        delays = [ics.transfer_delay(64) for _ in range(DATAPATHS)]
+        assert all(d == 2000 for d in delays)
+        # the 9th queues behind the earliest-free datapath
+        assert ics.transfer_delay(64) > 2000
+        assert ics.c_conflicts.value == 1
+
+    def test_serialisation_time(self, ics):
+        # 64 bytes at 8 bytes/cycle = 8 cycles of occupancy
+        for _ in range(DATAPATHS):
+            ics.transfer_delay(64)
+        ninth = ics.transfer_delay(64)
+        assert ninth == 2000 + 8 * 2000  # wait one full transfer
+
+
+class TestAccounting:
+    def test_lane_counters(self, ics):
+        ics.transfer_delay(8, LANE_LOW)
+        ics.transfer_delay(8, LANE_HIGH)
+        ics.transfer_delay(8, LANE_HIGH)
+        assert ics.c_lane[LANE_LOW].value == 1
+        assert ics.c_lane[LANE_HIGH].value == 2
+
+    def test_bytes_counted(self, ics):
+        ics.transfer_delay(64)
+        ics.transfer_delay(16)
+        assert ics.c_bytes.value == 80
+
+    def test_utilization(self, ics, sim):
+        assert ics.utilization() == 0.0
+        ics.transfer_delay(64)
+        sim.schedule(100000, lambda: None)
+        sim.run()
+        assert 0.0 < ics.utilization() < 1.0

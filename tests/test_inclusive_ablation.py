@@ -1,0 +1,102 @@
+"""Unit tests for the inclusive-L2 ablation mode (§2.3's road not taken)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import (
+    MESI,
+    AccessKind,
+    CoherenceChecker,
+    PiranhaSystem,
+    ReplySource,
+    preset,
+)
+from repro.core.messages import MemRequest, request_for
+from repro.workloads import MicroParams, OltpParams, OltpWorkload, UniformRandom
+
+
+def inclusive_config(name="P8"):
+    cfg = preset(name)
+    return dataclasses.replace(
+        cfg, l2=dataclasses.replace(cfg.l2, inclusive=True))
+
+
+def issue(system, cpu, kind, addr):
+    out = {}
+
+    def done(lat, src):
+        out["src"] = src
+
+    req = MemRequest(cpu_id=cpu, kind=kind, addr=addr, is_instr=False,
+                     done=done, node=0)
+    req.issue_time = system.sim.now
+    system.nodes[0].issue_miss(req, request_for(kind, MESI.INVALID))
+    system.sim.run()
+    return out["src"]
+
+
+LINE = 0x40_0000
+
+
+class TestInclusionSemantics:
+    def test_memory_fill_allocates_in_l2(self):
+        system = PiranhaSystem(inclusive_config(), num_nodes=1)
+        issue(system, 0, AccessKind.LOAD, LINE)
+        bank = system.nodes[0].bank_for(LINE)
+        assert bank._l2_line(LINE) is not None  # unlike Piranha's policy
+
+    def test_l2_eviction_invalidates_l1_copies(self):
+        system = PiranhaSystem(inclusive_config(), num_nodes=1,
+                               checker=CoherenceChecker())
+        issue(system, 0, AccessKind.LOAD, LINE)
+        bank = system.nodes[0].bank_for(LINE)
+        l2_stride = bank.num_sets * 8 * 64
+        # overflow the set: LINE's L2 copy is displaced, and inclusion
+        # enforcement must kill the L1 copy too
+        for i in range(1, 9):
+            issue(system, 0, AccessKind.LOAD, LINE + i * l2_stride)
+        assert bank._l2_line(LINE) is None
+        assert system.nodes[0].l1d[0].peek(LINE) is None
+        system.checker.verify_quiesced()
+        system.nodes[0].audit_duplicate_tags()
+
+    def test_silently_modified_data_recovered_on_eviction(self):
+        system = PiranhaSystem(inclusive_config(), num_nodes=1,
+                               checker=CoherenceChecker())
+        issue(system, 0, AccessKind.LOAD, LINE)   # E grant, L2 keeps copy
+        # silent E->M store (no coherence traffic)
+        l1 = system.nodes[0].l1d[0]
+        assert l1.lookup(LINE, AccessKind.STORE).hit
+        bank = system.nodes[0].bank_for(LINE)
+        l2_stride = bank.num_sets * 8 * 64
+        for i in range(1, 9):
+            issue(system, 0, AccessKind.LOAD, LINE + i * l2_stride)
+        # the silently-written version must have reached memory
+        assert system.mem_versions.get(LINE, 0) >= 1
+
+    def test_coherent_under_contention(self):
+        checker = CoherenceChecker()
+        system = PiranhaSystem(inclusive_config("P4"), num_nodes=1,
+                               checker=checker)
+        system.attach_workload(UniformRandom(
+            MicroParams(iterations=400, warmup=50, lines=4096),
+            cpus_per_node=4))
+        system.run_to_completion()
+        checker.verify_quiesced()
+        system.nodes[0].audit_duplicate_tags()
+
+
+class TestAblationOutcome:
+    def test_noninclusive_beats_inclusive_on_oltp(self):
+        params = OltpParams(transactions=15, warmup_transactions=25)
+
+        def run(cfg):
+            system = PiranhaSystem(cfg, num_nodes=1)
+            system.attach_workload(OltpWorkload(params, cpus_per_node=8))
+            system.run_to_completion()
+            return max(c.total_ps for c in system.all_cpus())
+
+        t_non = run(preset("P8"))
+        t_inc = run(inclusive_config())
+        assert t_non < t_inc  # the paper's design choice wins

@@ -1,0 +1,111 @@
+"""Unit tests for the I/O node (§2, Figure 2)."""
+
+import pytest
+
+from repro.core import AccessKind, CoherenceChecker, PiranhaSystem, preset
+from repro.core.iochip import io_node_config
+from repro.core.messages import MemRequest, RequestType
+
+
+@pytest.fixture
+def system():
+    return PiranhaSystem(preset("P2"), num_nodes=1, io_nodes=1,
+                         checker=CoherenceChecker())
+
+
+class TestIoConfig:
+    def test_stripped_down_chip(self):
+        cfg = io_node_config(preset("P8"))
+        assert cfg.cpus == 1
+        assert cfg.l2.banks == 1
+        assert cfg.is_io_node
+
+    def test_l2_is_one_banks_worth(self):
+        cfg = io_node_config(preset("P8"))
+        assert cfg.l2.size_bytes == 1024 * 1024 // 8
+
+
+class TestTopologyMembership:
+    def test_io_node_is_full_interconnect_member(self, system):
+        assert system.topology.kind(1) == "io"
+        assert 1 in system.topology.nodes
+        assert system.num_nodes == 2  # proc + io
+
+    def test_io_memory_participates_in_coherence(self, system):
+        """§2: 'the memory on the I/O chip fully participates in the global
+        cache coherence scheme'."""
+        # an address homed at the I/O node (chunk 1 of the 8 KB interleave)
+        io_homed = 0x2000
+        assert system.address_map.home_of(io_homed) == 1
+        out = {}
+        req = MemRequest(cpu_id=0, kind=AccessKind.LOAD, addr=io_homed,
+                         is_instr=False,
+                         done=lambda l, s: out.update(latency=l, source=s),
+                         node=0)
+        req.issue_time = 0
+        system.nodes[0].issue_miss(req, RequestType.READ)
+        system.sim.run()
+        assert out["source"].name == "REMOTE_MEM"
+
+
+class TestDriverCpu:
+    def test_io_cpu_indistinguishable(self, system):
+        """The CPU on the I/O chip runs workloads like any other."""
+        from repro.workloads.base import WorkloadThread
+
+        io_cpu = system.io[0].cpu
+        io_cpu.attach(WorkloadThread(iter(
+            [(100, AccessKind.LOAD, 0x2000, True)])))
+        io_cpu.start()
+        system.sim.run()
+        assert io_cpu.finished
+        assert io_cpu.misses == 1
+
+
+class TestDma:
+    def test_dma_read_through_coherence(self, system):
+        done = []
+        t = system.io[0].pci.dma(0x0000, lines=8, is_write=False,
+                                 on_done=done.append)
+        system.sim.run()
+        assert done and t.done_lines == 8
+        assert system.io[0].pci.c_dma_reads.value == 8
+
+    def test_dma_write_uses_wh64(self, system):
+        t = system.io[0].pci.dma(0x0000, lines=4, is_write=True)
+        system.sim.run()
+        assert t.done_lines == 4
+        assert system.io[0].pci.c_dma_writes.value == 4
+
+    def test_dma_fetches_dirty_cpu_data(self, system):
+        """Device reads see the latest CPU writes (coherent I/O)."""
+        out = {}
+        req = MemRequest(cpu_id=0, kind=AccessKind.STORE, addr=0x0000,
+                         is_instr=False,
+                         done=lambda l, s: out.update(s=s), node=0)
+        req.issue_time = 0
+        system.nodes[0].issue_miss(req, RequestType.READ_EXCLUSIVE)
+        system.sim.run()
+        system.io[0].pci.dma(0x0000, lines=1, is_write=False)
+        system.sim.run()
+        pci_line = system.io[0].pci.dl1.peek(0x0000)
+        assert pci_line is not None
+        assert pci_line.version == 1  # saw the store
+        system.checker.verify_quiesced()
+
+    def test_dma_completion_interrupt(self, system):
+        system.io[0].pci.dma(0x0000, lines=1, is_write=False,
+                             interrupt_vector=7)
+        system.sim.run()
+        sc = system.io[0].chip.syscontrol
+        assert sc.c_interrupts.value == 1
+
+    def test_dma_needs_positive_length(self, system):
+        with pytest.raises(ValueError):
+            system.io[0].pci.dma(0x0000, lines=0, is_write=False)
+
+    def test_pci_serialises_lines(self, system):
+        t = system.io[0].pci.dma(0x0000, lines=8, is_write=False)
+        system.sim.run()
+        # 8 lines over a ~533 MB/s PCI: at least 8 * 120 ns of wire time
+        assert (t.end_ps - t.start_ps) >= 8 * system.io[0].pci.line_transfer_ps

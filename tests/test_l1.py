@@ -1,0 +1,138 @@
+"""Unit tests for the first-level caches (§2.1)."""
+
+import pytest
+
+from repro.core import MESI, AccessKind, L1Params
+from repro.core.l1 import L1Cache
+
+
+def make_l1(size=64 * 1024, assoc=2, cpu=0, instr=False):
+    return L1Cache(L1Params(size_bytes=size, assoc=assoc), cpu, instr)
+
+
+class TestGeometry:
+    def test_64kb_two_way_has_512_sets(self):
+        assert make_l1().num_sets == 512
+
+    def test_direct_mapped(self):
+        l1 = make_l1(size=32 * 1024, assoc=1)
+        assert l1.num_sets == 512
+
+
+class TestLookup:
+    def test_cold_miss(self):
+        l1 = make_l1()
+        result = l1.lookup(0x1000, AccessKind.LOAD)
+        assert not result.hit
+        assert result.state == MESI.INVALID
+
+    def test_hit_after_fill(self):
+        l1 = make_l1()
+        l1.fill(0x1000, MESI.SHARED, owner=False)
+        assert l1.lookup(0x1000, AccessKind.LOAD).hit
+
+    def test_store_to_shared_needs_upgrade(self):
+        l1 = make_l1()
+        l1.fill(0x1000, MESI.SHARED, owner=False)
+        result = l1.lookup(0x1000, AccessKind.STORE)
+        assert not result.hit
+        assert result.needs_upgrade
+
+    def test_store_to_exclusive_upgrades_silently(self):
+        l1 = make_l1()
+        l1.fill(0x1000, MESI.EXCLUSIVE, owner=True)
+        result = l1.lookup(0x1000, AccessKind.STORE)
+        assert result.hit
+        assert l1.peek(0x1000).state == MESI.MODIFIED
+        assert l1.peek(0x1000).dirty
+
+    def test_store_bumps_version(self):
+        l1 = make_l1()
+        l1.fill(0x1000, MESI.MODIFIED, owner=True, version=3, dirty=True)
+        l1.lookup(0x1000, AccessKind.STORE)
+        assert l1.peek(0x1000).version == 4
+
+    def test_wh64_behaves_as_write(self):
+        l1 = make_l1()
+        l1.fill(0x1000, MESI.EXCLUSIVE, owner=True)
+        assert l1.lookup(0x1000, AccessKind.WH64).hit
+        assert l1.peek(0x1000).state == MESI.MODIFIED
+
+
+class TestReplacement:
+    def test_lru_within_set(self):
+        l1 = make_l1()
+        set_stride = l1.num_sets * 64
+        a, b, c = 0x0, set_stride, 2 * set_stride  # same set
+        l1.fill(a, MESI.EXCLUSIVE, owner=True)
+        l1.fill(b, MESI.EXCLUSIVE, owner=True)
+        l1.lookup(a, AccessKind.LOAD)            # refresh a
+        ev = l1.fill(c, MESI.EXCLUSIVE, owner=True)
+        assert ev is not None
+        assert ev.addr == b                       # b was least recently used
+
+    def test_eviction_carries_owner_and_dirty(self):
+        l1 = make_l1(assoc=1)
+        stride = l1.num_sets * 64
+        l1.fill(0x0, MESI.MODIFIED, owner=True, version=7, dirty=True)
+        ev = l1.fill(stride, MESI.SHARED, owner=False)
+        assert ev.owner and ev.dirty and ev.version == 7
+
+    def test_choose_victim_predicts(self):
+        l1 = make_l1(assoc=1)
+        stride = l1.num_sets * 64
+        l1.fill(0x0, MESI.SHARED, owner=False)
+        assert l1.choose_victim(stride) == 0x0
+        assert l1.choose_victim(0x0) is None  # already resident
+
+    def test_refill_same_line_no_eviction(self):
+        l1 = make_l1()
+        l1.fill(0x1000, MESI.SHARED, owner=False, version=1)
+        ev = l1.fill(0x1000, MESI.MODIFIED, owner=True, version=2)
+        assert ev is None
+        assert l1.peek(0x1000).state == MESI.MODIFIED
+        assert l1.peek(0x1000).version == 2
+
+
+class TestCoherenceOps:
+    def test_invalidate(self):
+        l1 = make_l1()
+        l1.fill(0x1000, MESI.MODIFIED, owner=True, dirty=True)
+        line = l1.invalidate(0x1000)
+        assert line is not None and line.dirty
+        assert l1.peek(0x1000) is None
+
+    def test_invalidate_missing_line(self):
+        assert make_l1().invalidate(0x1000) is None
+
+    def test_downgrade(self):
+        l1 = make_l1()
+        l1.fill(0x1000, MESI.MODIFIED, owner=True, dirty=True)
+        line = l1.downgrade(0x1000)
+        assert line.state == MESI.SHARED
+        assert line.dirty  # dirtiness preserved for the caller to route
+
+    def test_set_owner(self):
+        l1 = make_l1()
+        l1.fill(0x1000, MESI.SHARED, owner=True)
+        l1.set_owner(0x1000, False)
+        assert not l1.peek(0x1000).owner
+
+    def test_cannot_fill_invalid(self):
+        with pytest.raises(ValueError):
+            make_l1().fill(0x1000, MESI.INVALID, owner=False)
+
+
+class TestStats:
+    def test_hit_rate(self):
+        l1 = make_l1()
+        l1.fill(0x1000, MESI.SHARED, owner=False)
+        l1.lookup(0x1000, AccessKind.LOAD)
+        l1.lookup(0x2000, AccessKind.LOAD)
+        assert l1.hit_rate == 0.5
+
+    def test_resident_lines(self):
+        l1 = make_l1()
+        for i in range(10):
+            l1.fill(i * 64, MESI.SHARED, owner=False)
+        assert l1.resident_lines() == 10

@@ -1,0 +1,239 @@
+"""Scenario tests for the L2 bank and intra-chip coherence (§2.3).
+
+Requests are driven directly into a single-node system's memory system;
+each test checks one path of the paper's protocol: non-inclusive fills,
+victim write-backs, ownership-filtered replacements, L1-to-L1 forwards,
+upgrades, and the clean-exclusive optimisation.
+"""
+
+import pytest
+
+from repro.core import (
+    MESI,
+    AccessKind,
+    CoherenceChecker,
+    PiranhaSystem,
+    ReplySource,
+    preset,
+)
+from repro.core.messages import CacheId, MemRequest, RequestType
+
+
+@pytest.fixture
+def system():
+    return PiranhaSystem(preset("P8"), num_nodes=1,
+                         checker=CoherenceChecker())
+
+
+def issue(system, cpu, kind, addr, reqtype=None, is_instr=False):
+    """Issue one access and run to completion; returns (latency_ns, source)."""
+    out = {}
+
+    def done(latency_ps, source):
+        out["latency_ns"] = latency_ps / 1000.0
+        out["source"] = source
+
+    req = MemRequest(cpu_id=cpu, kind=kind, addr=addr, is_instr=is_instr,
+                     done=done, node=0)
+    if reqtype is None:
+        from repro.core.messages import request_for
+
+        reqtype = request_for(kind, MESI.INVALID)
+    req.issue_time = system.sim.now
+    system.nodes[0].issue_miss(req, reqtype)
+    system.sim.run()
+    return out["latency_ns"], out["source"]
+
+
+LINE = 0x40_0000  # maps to bank 0
+
+
+class TestMissPaths:
+    def test_cold_read_fills_from_memory_at_80ns(self, system):
+        latency, source = issue(system, 0, AccessKind.LOAD, LINE)
+        assert source == ReplySource.LOCAL_MEM
+        assert latency == pytest.approx(80.0, abs=1.0)
+
+    def test_cold_read_granted_clean_exclusive(self, system):
+        issue(system, 0, AccessKind.LOAD, LINE)
+        line = system.nodes[0].l1d[0].peek(LINE)
+        assert line.state == MESI.EXCLUSIVE  # clean-exclusive optimisation
+
+    def test_memory_fill_does_not_allocate_in_l2(self, system):
+        """§2.3: L1 misses that also miss in the L2 are filled directly
+        from memory, without allocating in the L2."""
+        issue(system, 0, AccessKind.LOAD, LINE)
+        bank = system.nodes[0].bank_for(LINE)
+        assert bank._l2_line(LINE) is None
+        assert bank.resident_lines() == 0
+
+    def test_store_miss_fills_modified(self, system):
+        issue(system, 0, AccessKind.STORE, LINE)
+        line = system.nodes[0].l1d[0].peek(LINE)
+        assert line.state == MESI.MODIFIED
+        assert line.dirty
+
+
+class TestL1ToL1Forward:
+    def test_read_forwarded_from_owner_at_24ns(self, system):
+        issue(system, 0, AccessKind.STORE, LINE)     # cpu0 owns M
+        latency, source = issue(system, 1, AccessKind.LOAD, LINE)
+        assert source == ReplySource.L2_FWD
+        assert latency == pytest.approx(24.0, abs=1.0)
+
+    def test_forward_downgrades_owner(self, system):
+        issue(system, 0, AccessKind.STORE, LINE)
+        issue(system, 1, AccessKind.LOAD, LINE)
+        assert system.nodes[0].l1d[0].peek(LINE).state == MESI.SHARED
+        assert system.nodes[0].l1d[1].peek(LINE).state == MESI.SHARED
+
+    def test_ownership_and_dirtiness_travel_to_requester(self, system):
+        """§2.3: the owner is 'typically the last requester'; the dirty
+        master copy follows ownership so exactly one write-back happens."""
+        issue(system, 0, AccessKind.STORE, LINE)
+        issue(system, 1, AccessKind.LOAD, LINE)
+        bank = system.nodes[0].bank_for(LINE)
+        assert bank.dup.owner(LINE) == CacheId.encode(1, False)
+        assert system.nodes[0].l1d[1].peek(LINE).dirty
+        assert not system.nodes[0].l1d[0].peek(LINE).dirty
+
+    def test_store_forward_invalidates_other_copies(self, system):
+        issue(system, 0, AccessKind.STORE, LINE)
+        issue(system, 1, AccessKind.LOAD, LINE)
+        issue(system, 2, AccessKind.STORE, LINE)
+        assert system.nodes[0].l1d[0].peek(LINE) is None
+        assert system.nodes[0].l1d[1].peek(LINE) is None
+        assert system.nodes[0].l1d[2].peek(LINE).state == MESI.MODIFIED
+
+    def test_instruction_cache_kept_coherent(self, system):
+        """§2.1: unlike other Alphas, the iL1 is kept coherent by
+        hardware."""
+        issue(system, 0, AccessKind.IFETCH, LINE, is_instr=True)
+        issue(system, 1, AccessKind.STORE, LINE)
+        assert system.nodes[0].l1i[0].peek(LINE) is None
+
+
+class TestVictimCacheBehaviour:
+    def _fill_and_evict(self, system, cpu=0, dirty=False):
+        """Fill LINE then force it out of cpu's dL1 by filling both ways of
+        its set."""
+        kind = AccessKind.STORE if dirty else AccessKind.LOAD
+        issue(system, cpu, kind, LINE)
+        l1 = system.nodes[0].l1d[cpu]
+        set_stride = l1.num_sets * 64
+        issue(system, cpu, AccessKind.LOAD, LINE + set_stride)
+        issue(system, cpu, AccessKind.LOAD, LINE + 2 * set_stride)
+
+    def test_clean_owner_eviction_fills_l2(self, system):
+        """Even clean L1 victims write back to the L2 when owned — the L2
+        is a victim cache (§2.3)."""
+        self._fill_and_evict(system, dirty=False)
+        bank = system.nodes[0].bank_for(LINE)
+        assert bank._l2_line(LINE) is not None
+        assert bank.c_l1_wb_owner.value >= 1
+
+    def test_dirty_eviction_carries_data(self, system):
+        self._fill_and_evict(system, dirty=True)
+        bank = system.nodes[0].bank_for(LINE)
+        l2line = bank._l2_line(LINE)
+        assert l2line.dirty
+        assert l2line.version == 1
+
+    def test_l2_hit_after_victim_fill(self, system):
+        self._fill_and_evict(system)
+        latency, source = issue(system, 1, AccessKind.LOAD, LINE)
+        assert source == ReplySource.L2_HIT
+        assert latency == pytest.approx(16.0, abs=1.0)
+
+    def test_non_owner_eviction_no_writeback(self, system):
+        """After a forward, the old owner's copy is a non-owner S line; its
+        replacement must NOT write back (the write-back filter)."""
+        issue(system, 0, AccessKind.STORE, LINE)
+        issue(system, 1, AccessKind.LOAD, LINE)   # ownership moved to cpu1
+        l1 = system.nodes[0].l1d[0]
+        set_stride = l1.num_sets * 64
+        bank = system.nodes[0].bank_for(LINE)
+        before = bank.c_l1_wb_owner.value
+        issue(system, 0, AccessKind.LOAD, LINE + set_stride)
+        issue(system, 0, AccessKind.LOAD, LINE + 2 * set_stride)
+        assert system.nodes[0].l1d[0].peek(LINE) is None
+        assert bank.c_l1_wb_owner.value == before
+        assert bank.c_l1_evict_clean.value >= 1
+
+
+class TestUpgrades:
+    def test_store_to_shared_upgrades_locally(self, system):
+        issue(system, 0, AccessKind.STORE, LINE)
+        issue(system, 1, AccessKind.LOAD, LINE)     # both share now
+        latency, source = issue(system, 0, AccessKind.STORE, LINE,
+                                reqtype=RequestType.EXCLUSIVE)
+        assert source in (ReplySource.L2_HIT, ReplySource.L2_FWD)
+        assert system.nodes[0].l1d[0].peek(LINE).state == MESI.MODIFIED
+        assert system.nodes[0].l1d[1].peek(LINE) is None
+
+    def test_upgrade_is_fast(self, system):
+        issue(system, 0, AccessKind.STORE, LINE)
+        issue(system, 1, AccessKind.LOAD, LINE)
+        latency, _ = issue(system, 1, AccessKind.STORE, LINE,
+                           reqtype=RequestType.EXCLUSIVE)
+        assert latency < 16.0  # control-only grant, no data transfer
+
+
+class TestWh64:
+    def test_wh64_single_node_skips_memory(self, system):
+        """Exclusive-without-data: no fetch of the line's contents."""
+        latency, source = issue(system, 0, AccessKind.WH64, LINE)
+        assert latency < 20.0  # far below the 80 ns memory fill
+        bank = system.nodes[0].bank_for(LINE)
+        assert bank.c_wh64_data_avoided.value == 1
+        assert system.nodes[0].l1d[0].peek(LINE).state == MESI.MODIFIED
+
+
+class TestPendingConflicts:
+    def test_conflicting_requests_serialise(self, system):
+        """§2.3: a pending entry blocks conflicting requests for the
+        duration of the original transaction."""
+        results = []
+
+        def make_done(tag):
+            def done(lat, src):
+                results.append((tag, system.sim.now, src))
+            return done
+
+        node = system.nodes[0]
+        for cpu in range(3):
+            req = MemRequest(cpu_id=cpu, kind=AccessKind.STORE, addr=LINE,
+                             is_instr=False, done=make_done(cpu), node=0)
+            req.issue_time = 0
+            node.issue_miss(req, RequestType.READ_EXCLUSIVE)
+        system.sim.run()
+        assert len(results) == 3
+        bank = node.bank_for(LINE)
+        # at least the two later requests conflicted (waiters that re-queue
+        # behind each other's grants count again)
+        assert bank.c_conflicts.value >= 2
+        # exactly one went to memory; the others were served on-chip
+        sources = [src for _, _, src in results]
+        assert sources.count(ReplySource.LOCAL_MEM) == 1
+
+    def test_checker_clean_after_conflict_storm(self, system):
+        for cpu in range(8):
+            for i in range(4):
+                issue(system, cpu, AccessKind.STORE, LINE + i * 64)
+        system.checker.verify_quiesced()
+
+
+class TestMissBreakdownAccounting:
+    def test_fig6b_counters(self, system):
+        issue(system, 0, AccessKind.LOAD, LINE)          # memory
+        issue(system, 1, AccessKind.LOAD, LINE)          # fwd from cpu0
+        # force cpu1's copy (owner) out to the L2, then hit it
+        l1 = system.nodes[0].l1d[1]
+        stride = l1.num_sets * 64
+        issue(system, 1, AccessKind.LOAD, LINE + stride)
+        issue(system, 1, AccessKind.LOAD, LINE + 2 * stride)
+        issue(system, 2, AccessKind.LOAD, LINE)          # L2 hit
+        mb = system.miss_breakdown()
+        assert mb["l2_miss"] >= 1
+        assert mb["l2_fwd"] >= 1
+        assert mb["l2_hit"] >= 1

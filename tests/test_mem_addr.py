@@ -1,0 +1,68 @@
+"""Unit tests for address geometry and the NUMA home map."""
+
+import pytest
+
+from repro.mem import LINE_BYTES, AddressMap, l2_bank, line_addr, line_index, line_offset
+
+
+class TestLineGeometry:
+    def test_line_bytes(self):
+        assert LINE_BYTES == 64
+
+    def test_line_addr_alignment(self):
+        assert line_addr(0x1234) == 0x1200
+        assert line_addr(0x1200) == 0x1200
+
+    def test_line_index(self):
+        assert line_index(0x1240) == 0x49
+
+    def test_line_offset(self):
+        assert line_offset(0x1234) == 0x34
+
+
+class TestL2BankInterleave:
+    def test_low_line_bits_select_bank(self):
+        # consecutive lines hit consecutive banks (Section 2.3)
+        banks = [l2_bank(i * 64) for i in range(16)]
+        assert banks == [0, 1, 2, 3, 4, 5, 6, 7] * 2
+
+    def test_same_line_same_bank(self):
+        assert l2_bank(0x1000) == l2_bank(0x103F)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            l2_bank(0, banks=6)
+
+
+class TestAddressMap:
+    def test_single_node_owns_everything(self):
+        amap = AddressMap(1)
+        assert all(amap.home_of(a) == 0 for a in (0, 8192, 1 << 30))
+
+    def test_round_robin_interleave(self):
+        amap = AddressMap(4, home_granularity=8192)
+        homes = [amap.home_of(i * 8192) for i in range(8)]
+        assert homes == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_lines_within_chunk_share_home(self):
+        amap = AddressMap(4)
+        assert amap.home_of(8192) == amap.home_of(8192 + 64)
+
+    def test_is_local(self):
+        amap = AddressMap(2)
+        assert amap.is_local(0, 0)
+        assert not amap.is_local(8192, 0)
+
+    def test_limits(self):
+        with pytest.raises(ValueError):
+            AddressMap(0)
+        with pytest.raises(ValueError):
+            AddressMap(2000)
+        with pytest.raises(ValueError):
+            AddressMap(2, home_granularity=32)
+        with pytest.raises(ValueError):
+            AddressMap(2, home_granularity=12345)
+
+    def test_max_scale_1024_nodes(self):
+        amap = AddressMap(1024)
+        assert amap.home_of(1023 * 8192) == 1023

@@ -1,0 +1,119 @@
+"""Tests for Alpha MB semantics over eager exclusive replies (§2.5.3).
+
+The protocol grants exclusive ownership *before* all invalidations
+complete; the invalidation acknowledgements are gathered at the requesting
+node, and a memory barrier is what orders subsequent accesses after them.
+"""
+
+import pytest
+
+from repro.core import (
+    MESI,
+    AccessKind,
+    CoherenceChecker,
+    PiranhaSystem,
+    preset,
+)
+from repro.core.messages import MemRequest, request_for
+from repro.workloads.base import WorkloadThread
+
+
+@pytest.fixture
+def system():
+    return PiranhaSystem(preset("P2"), num_nodes=2,
+                         checker=CoherenceChecker())
+
+
+def prime_sharers(system, addr):
+    """Give both nodes shared copies of *addr* (homed at node 0)."""
+    for node in (1, 0):
+        done = []
+        req = MemRequest(cpu_id=0, kind=AccessKind.LOAD, addr=addr,
+                         is_instr=False, done=lambda l, s: done.append(1),
+                         node=node)
+        req.issue_time = system.sim.now
+        system.nodes[node].issue_miss(req, request_for(AccessKind.LOAD,
+                                                       MESI.INVALID))
+        system.sim.run()
+
+
+class TestFenceSemantics:
+    def test_membar_waits_for_inval_acks(self, system):
+        prime_sharers(system, 0x0)
+        # node 0's cpu1: store (eager grant with remote sharers) then MB
+        cpu = system.nodes[0].cpus[1]
+        cpu.attach(WorkloadThread(iter([
+            (1, AccessKind.STORE, 0x0, True),
+            (1, AccessKind.MEMBAR, 0, True),
+            (10, None, 0, True),
+        ])))
+        cpu.start()
+        system.sim.run()
+        assert cpu.finished
+        assert cpu.c_membar.value == 1
+        # the fence observed outstanding acks and waited for them
+        assert cpu.fence_stall_ps > 0
+        # afterwards nothing is pending
+        assert not system.nodes[0]._pending_acks
+        system.checker.verify_quiesced()
+
+    def test_membar_free_when_nothing_pending(self, system):
+        cpu = system.nodes[0].cpus[0]
+        cpu.attach(WorkloadThread(iter([
+            (100, None, 0, True),
+            (1, AccessKind.MEMBAR, 0, True),
+            (100, None, 0, True),
+        ])))
+        cpu.start()
+        system.sim.run()
+        assert cpu.finished
+        assert cpu.fence_stall_ps == 0
+
+    def test_fence_time_separate_from_stall_buckets(self, system):
+        prime_sharers(system, 0x0)
+        cpu = system.nodes[0].cpus[1]
+        cpu.attach(WorkloadThread(iter([
+            (1, AccessKind.STORE, 0x0, True),
+            (1, AccessKind.MEMBAR, 0, True),
+        ])))
+        cpu.start()
+        system.sim.run()
+        assert cpu.total_ps == (cpu.busy_ps + sum(cpu.stall_ps.values())
+                                + cpu.fence_stall_ps)
+
+    def test_ooo_membar_drains_streaming_misses(self):
+        system = PiranhaSystem(preset("OOO"), num_nodes=1)
+        cpu = system.nodes[0].cpus[0]
+        items = [(10, AccessKind.LOAD, i * 64, False) for i in range(4)]
+        items.append((1, AccessKind.MEMBAR, 0, True))
+        items.append((10, None, 0, True))
+        cpu.attach(WorkloadThread(iter(items), ilp=2.0))
+        cpu.start()
+        system.sim.run()
+        assert cpu.finished
+        assert cpu.outstanding == 0
+        assert cpu.c_membar.value == 1
+
+
+class TestIsaMb:
+    def test_mb_roundtrip(self):
+        from repro.isa import Instruction, Mnemonic, decode, encode
+
+        instr = Instruction(Mnemonic.MB)
+        assert decode(encode(instr)) == instr
+
+    def test_mb_through_timing_simulator(self):
+        from repro.isa import assemble, make_isa_workload
+
+        programs = {(0, 0): assemble("""
+            lda  r1, 0x1000(r31)
+            stq  r2, 0(r1)
+            mb
+            stq  r2, 8(r1)
+            halt
+        """)}
+        workload, cpus, _ = make_isa_workload(programs)
+        system = PiranhaSystem(preset("P1"), num_nodes=1)
+        system.attach_workload(workload)
+        system.run_to_completion()
+        assert system.nodes[0].cpus[0].c_membar.value == 1

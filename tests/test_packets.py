@@ -1,0 +1,87 @@
+"""Unit tests for interconnect packet formats (§2.6)."""
+
+import pytest
+
+from repro.interconnect import DATA_BEARING, Lane, Packet, PacketType
+
+
+class TestWireSizes:
+    def test_short_packet_is_128_bits(self):
+        pkt = Packet(PacketType.READ, src=0, dst=1, addr=0x40)
+        assert pkt.size_bits == 128
+        assert pkt.wire_cycles == 2
+
+    def test_long_packet_is_640_bits(self):
+        pkt = Packet(PacketType.DATA_REPLY, src=0, dst=1, addr=0x40)
+        assert pkt.size_bits == 128 + 512
+        assert pkt.wire_cycles == 10
+
+    def test_data_bearing_types(self):
+        assert PacketType.WRITEBACK in DATA_BEARING
+        assert PacketType.DATA_REPLY in DATA_BEARING
+        assert PacketType.READ not in DATA_BEARING
+
+
+class TestLaneAssignment:
+    """Requests to home ride L; forwards/replies/writebacks ride H (§2.5.3)."""
+
+    def test_home_requests_use_low_lane(self):
+        for ptype in (PacketType.READ, PacketType.READ_EXCLUSIVE,
+                      PacketType.EXCLUSIVE, PacketType.EXCLUSIVE_NO_DATA):
+            assert Packet(ptype, 0, 1).lane == Lane.L
+
+    def test_writeback_uses_high_lane(self):
+        assert Packet(PacketType.WRITEBACK, 0, 1).lane == Lane.H
+
+    def test_forwards_and_replies_use_high_lane(self):
+        for ptype in (PacketType.FWD_READ, PacketType.INVALIDATE,
+                      PacketType.DATA_REPLY, PacketType.INVAL_ACK):
+            assert Packet(ptype, 0, 1).lane == Lane.H
+
+    def test_io_lane(self):
+        assert Packet(PacketType.INTERRUPT, 0, 1).lane == Lane.IO
+
+
+class TestHeaderPacking:
+    def test_roundtrip(self):
+        pkt = Packet(PacketType.FWD_READ_EXCLUSIVE, src=1000, dst=3,
+                     addr=0xABCDE40, txn_id=0x1234, priority=2, age=17)
+        out = Packet.unpack_header(pkt.pack_header())
+        assert out.ptype == pkt.ptype
+        assert out.src == pkt.src and out.dst == pkt.dst
+        assert out.addr == pkt.addr & ~63
+        assert out.txn_id == pkt.txn_id
+        assert out.priority == 2
+        assert out.age == 17
+        assert out.lane == pkt.lane
+
+    def test_header_is_128_bits(self):
+        pkt = Packet(PacketType.READ, src=1023, dst=1023,
+                     addr=(1 << 44) * 64 - 64, txn_id=0xFFFF, age=255)
+        header = pkt.pack_header()
+        assert 0 <= header < (1 << 128)
+
+    def test_src_exceeding_1024_nodes_rejected(self):
+        pkt = Packet(PacketType.READ, src=1024, dst=0)
+        with pytest.raises(ValueError):
+            pkt.pack_header()
+
+    def test_bad_priority_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(PacketType.READ, 0, 1, priority=4)
+
+    def test_age_saturates_at_255(self):
+        pkt = Packet(PacketType.READ, 0, 1, age=300)
+        out = Packet.unpack_header(pkt.pack_header())
+        assert out.age == 255
+
+
+class TestClassification:
+    def test_is_request(self):
+        assert Packet(PacketType.READ, 0, 1).is_request()
+        assert Packet(PacketType.CMI_INVALIDATE, 0, 1).is_request()
+        assert not Packet(PacketType.DATA_REPLY, 0, 1).is_request()
+        assert not Packet(PacketType.WRITEBACK_ACK, 0, 1).is_request()
+
+    def test_sixteen_major_types(self):
+        assert len(PacketType) == 16

@@ -1,0 +1,59 @@
+"""Unit tests for the performance-monitoring report."""
+
+import pytest
+
+from repro.core import PiranhaSystem, preset
+from repro.harness.perfmon import node_report, render_report, system_report
+from repro.workloads import MicroParams, MigratoryWrites, OltpParams, OltpWorkload
+
+
+@pytest.fixture
+def run_system():
+    system = PiranhaSystem(preset("P2"), num_nodes=2)
+    wl = OltpWorkload(OltpParams(transactions=8, warmup_transactions=10),
+                      cpus_per_node=2, num_nodes=2)
+    system.attach_workload(wl)
+    system.run_to_completion()
+    return system
+
+
+class TestNodeReport:
+    def test_structure(self, run_system):
+        report = node_report(run_system.nodes[0])
+        assert report["node"] == "node0"
+        assert len(report["cpus"]) == 2
+        assert {"requests", "hits", "fwds", "mem"} <= set(report["l2"])
+        assert {"he", "re"} == set(report["engines"])
+
+    def test_counts_consistent(self, run_system):
+        report = node_report(run_system.nodes[0])
+        l2 = report["l2"]
+        # service classes cannot exceed requests
+        assert l2["hits"] + l2["fwds"] + l2["mem"] <= l2["requests"]
+
+    def test_cpu_metrics(self, run_system):
+        report = node_report(run_system.nodes[0])
+        for cpu in report["cpus"]:
+            assert cpu["instructions"] > 0
+            assert 0.0 <= cpu["l1_miss_rate"] <= 1.0
+            assert 0.0 <= cpu["busy_frac"] <= 1.0
+
+
+class TestSystemReport:
+    def test_one_report_per_node(self, run_system):
+        reports = system_report(run_system)
+        assert [r["node"] for r in reports] == ["node0", "node1"]
+
+    def test_render(self, run_system):
+        text = render_report(system_report(run_system))
+        assert "node0" in text and "node1" in text
+        assert "L2 requests" in text
+        assert "he threads/instrs" in text
+
+    def test_engines_active_multinode(self, run_system):
+        reports = system_report(run_system)
+        total_threads = sum(
+            eng["threads"]
+            for r in reports for eng in r["engines"].values()
+        )
+        assert total_threads > 0

@@ -1,0 +1,104 @@
+"""Unit tests for the RDRAM channel and memory controller (§2.4)."""
+
+import pytest
+
+from repro.core import PIRANHA_P8
+from repro.core.rdram import MemoryController, RdramChannel
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def channel(sim):
+    return RdramChannel(sim, "ch", PIRANHA_P8.lat, PIRANHA_P8.memory)
+
+
+@pytest.fixture
+def mc(sim):
+    return MemoryController(sim, "mc", PIRANHA_P8)
+
+
+class TestLatencies:
+    def test_random_access_60ns(self, channel):
+        res = channel.access(0x10000)
+        assert res.critical_word_ps == 60_000
+        assert not res.page_hit
+
+    def test_rest_of_line_plus_30ns(self, channel):
+        res = channel.access(0x10000)
+        assert res.line_done_ps == 90_000
+
+    def test_open_page_hit_40ns(self, channel, sim):
+        channel.access(0x10000)
+        sim.schedule(200_000, lambda: None)
+        sim.run()
+        res = channel.access(0x10040)  # same 512-byte page
+        assert res.page_hit
+        assert res.critical_word_ps == 40_000
+
+    def test_different_page_misses(self, channel, sim):
+        channel.access(0x10000)
+        sim.schedule(200_000, lambda: None)
+        sim.run()
+        # same device (stride = 32 devices * 512B), different page
+        res = channel.access(0x10000 + 512 * 32)
+        assert not res.page_hit
+
+
+class TestKeepOpenPolicy:
+    def test_page_closes_after_keep_open_window(self, sim):
+        channel = RdramChannel(sim, "ch", PIRANHA_P8.lat, PIRANHA_P8.memory)
+        channel.access(0x10000)
+        # advance beyond the ~1 us keep-open window
+        sim.schedule(2_000_000, lambda: None)
+        sim.run()
+        res = channel.access(0x10040)
+        assert not res.page_hit
+
+    def test_page_open_within_window(self, sim):
+        channel = RdramChannel(sim, "ch", PIRANHA_P8.lat, PIRANHA_P8.memory)
+        channel.access(0x10000)
+        sim.schedule(500_000, lambda: None)  # 0.5 us < 1 us
+        sim.run()
+        assert channel.access(0x10040).page_hit
+
+    def test_open_page_count(self, channel):
+        channel.access(0x10000)
+        channel.access(0x10000 + 512)  # next device
+        assert channel.open_page_count() == 2
+
+
+class TestChannelOccupancy:
+    def test_back_to_back_accesses_queue(self, channel):
+        first = channel.access(0x10000)
+        second = channel.access(0x90000)
+        # second waits for the first line's 40 ns channel transfer
+        assert second.critical_word_ps > first.critical_word_ps
+        assert channel.c_queued.value == 1
+
+    def test_line_transfer_time(self, channel):
+        # 64 bytes over 1.6 GB/s = 40 ns
+        assert channel.t_line_transfer == 40_000
+
+
+class TestHitRateAccounting:
+    def test_page_hit_rate(self, channel, sim):
+        channel.access(0x10000)
+        for i in range(1, 4):
+            sim.schedule(i * 100_000, lambda: None)
+            sim.run()
+            channel.access(0x10000 + i * 64)
+        assert channel.page_hit_rate == pytest.approx(0.75)
+
+    def test_empty_hit_rate(self, channel):
+        assert channel.page_hit_rate == 0.0
+
+
+class TestMemoryController:
+    def test_read_adds_engine_overhead(self, mc):
+        res = mc.read_line(0x10000)
+        # 60 ns DRAM + 10 ns controller/RAC overhead (P8 calibration)
+        assert res.critical_word_ps == 70_000
+
+    def test_write_counted(self, mc):
+        mc.write_line(0x10000)
+        assert mc.channel.c_writes.value == 1

@@ -1,0 +1,120 @@
+"""Unit tests for statistics primitives."""
+
+import pytest
+
+from repro.sim import Accumulator, Counter, Histogram, StatGroup, TimeWeighted
+
+
+class TestCounter:
+    def test_increment(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_reset(self):
+        c = Counter("x")
+        c.inc(3)
+        c.reset()
+        assert c.value == 0
+
+
+class TestAccumulator:
+    def test_mean_min_max(self):
+        a = Accumulator("lat")
+        for v in (10, 20, 30):
+            a.add(v)
+        assert a.mean == 20
+        assert a.min == 10
+        assert a.max == 30
+        assert a.count == 3
+
+    def test_empty_mean(self):
+        assert Accumulator("x").mean == 0.0
+
+    def test_stdev(self):
+        a = Accumulator("x")
+        for v in (2, 4, 4, 4, 5, 5, 7, 9):
+            a.add(v)
+        assert a.stdev == pytest.approx(2.0)
+
+    def test_stdev_single_sample(self):
+        a = Accumulator("x")
+        a.add(5)
+        assert a.stdev == 0.0
+
+
+class TestHistogram:
+    def test_binning(self):
+        h = Histogram("h", [10, 20, 30])
+        for v in (5, 15, 25, 35, 7):
+            h.add(v)
+        assert h.samples == 5
+        assert h.bins == [2, 1, 1, 1]
+
+    def test_fraction_below(self):
+        h = Histogram("h", [10, 20])
+        for v in (5, 6, 15, 25):
+            h.add(v)
+        assert h.fraction_below(10) == 0.5
+
+    def test_empty_edges_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", [])
+
+
+class TestTimeWeighted:
+    def test_mean_level(self):
+        tw = TimeWeighted("occ")
+        tw.set(0, 1.0)
+        tw.set(100, 3.0)
+        # level 1 for 100ps, level 3 for 100ps
+        assert tw.mean(200) == pytest.approx(2.0)
+
+    def test_peak(self):
+        tw = TimeWeighted("occ")
+        tw.adjust(0, 5)
+        tw.adjust(10, -2)
+        assert tw.peak == 5
+        assert tw.level == 3
+
+    def test_mean_at_zero(self):
+        assert TimeWeighted("x").mean(0) == 0.0
+
+
+class TestStatGroup:
+    def test_get_or_create(self):
+        g = StatGroup("mod")
+        c1 = g.counter("hits")
+        c2 = g.counter("hits")
+        assert c1 is c2
+
+    def test_type_conflict_rejected(self):
+        g = StatGroup("mod")
+        g.counter("x")
+        with pytest.raises(TypeError):
+            g.accumulator("x")
+
+    def test_contains(self):
+        g = StatGroup("mod")
+        g.counter("a")
+        assert "a" in g
+        assert "b" not in g
+
+    def test_as_dict(self):
+        g = StatGroup("mod")
+        g.counter("hits").inc(3)
+        g.accumulator("lat").add(12.0)
+        d = g.as_dict()
+        assert d["hits"] == 3
+        assert d["lat"]["count"] == 1
+
+    def test_reset_all(self):
+        g = StatGroup("mod")
+        g.counter("hits").inc(3)
+        g.accumulator("lat").add(12.0)
+        g.histogram("h", [1, 2]).add(0.5)
+        g.reset_all()
+        assert g.counter("hits").value == 0
+        assert g.accumulator("lat").count == 0
+        assert g.histogram("h", [1, 2]).samples == 0

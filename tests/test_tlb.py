@@ -1,0 +1,95 @@
+"""Unit tests for the optional TLB model (§2.1)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import AccessKind, PiranhaSystem, preset
+from repro.core.tlb import PAGE_BYTES, Tlb
+from repro.workloads import OltpParams, OltpWorkload
+from repro.workloads.base import WorkloadThread
+
+
+class TestTlbStructure:
+    def test_paper_geometry(self):
+        tlb = Tlb(256, 4)
+        assert tlb.num_sets == 64
+
+    def test_hit_after_install(self):
+        tlb = Tlb(16, 4)
+        assert not tlb.lookup(0x0)       # cold miss installs
+        assert tlb.lookup(0x100)         # same page
+        assert tlb.lookup(PAGE_BYTES - 1)
+
+    def test_distinct_pages_miss(self):
+        tlb = Tlb(16, 4)
+        tlb.lookup(0)
+        assert not tlb.lookup(PAGE_BYTES * 4)  # other set or new page
+
+    def test_lru_replacement(self):
+        tlb = Tlb(8, 2)  # 4 sets
+        set_stride = PAGE_BYTES * 4
+        tlb.lookup(0)
+        tlb.lookup(set_stride)
+        tlb.lookup(0)                    # refresh page 0
+        tlb.lookup(2 * set_stride)       # evicts set_stride's page
+        assert tlb.lookup(0)
+        assert not tlb.lookup(set_stride)
+
+    def test_capacity_bounded(self):
+        tlb = Tlb(256, 4)
+        for page in range(1000):
+            tlb.lookup(page * PAGE_BYTES)
+        assert tlb.resident_pages() <= 256
+
+    def test_flush(self):
+        tlb = Tlb(16, 4)
+        tlb.lookup(0)
+        tlb.flush()
+        assert not tlb.lookup(0)
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            Tlb(10, 4)
+
+
+class TestCpuIntegration:
+    def _system(self, refill_ns):
+        cfg = preset("P1")
+        cfg = dataclasses.replace(
+            cfg, l1=dataclasses.replace(cfg.l1, tlb_refill_ns=refill_ns))
+        return PiranhaSystem(cfg, num_nodes=1)
+
+    def test_disabled_by_default(self):
+        system = PiranhaSystem(preset("P1"), num_nodes=1)
+        assert system.nodes[0].cpus[0].itlb is None
+
+    def test_refill_cost_charged_as_busy(self):
+        def run(refill):
+            system = self._system(refill)
+            cpu = system.nodes[0].cpus[0]
+            # touch 64 distinct pages (all dTLB misses), data hits L1 after
+            items = [(1, AccessKind.LOAD, p * PAGE_BYTES, True)
+                     for p in range(64)]
+            cpu.attach(WorkloadThread(iter(items)))
+            cpu.start()
+            system.sim.run()
+            return cpu
+
+        cold = run(0.0)
+        warm = run(100.0)
+        assert warm.busy_ps > cold.busy_ps
+        assert warm.dtlb.misses == 64
+
+    def test_oltp_tlb_sensitivity(self):
+        """A large-footprint workload visibly slows with expensive TLB
+        refills — the direction a TLB study must show."""
+        params = OltpParams(transactions=10, warmup_transactions=15)
+
+        def run(refill):
+            system = self._system(refill)
+            system.attach_workload(OltpWorkload(params, cpus_per_node=1))
+            system.run_to_completion()
+            return max(c.total_ps for c in system.all_cpus())
+
+        assert run(60.0) > run(0.0)

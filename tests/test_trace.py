@@ -1,0 +1,99 @@
+"""Unit tests for trace recording/replay."""
+
+import pytest
+
+from repro.core import AccessKind, PiranhaSystem, preset
+from repro.workloads import OltpParams, OltpWorkload
+from repro.workloads.base import WorkloadThread
+from repro.workloads.trace import (
+    TraceError,
+    TraceWorkload,
+    read_trace,
+    record_thread,
+    record_workload,
+)
+
+
+def small_oltp(cpus=2):
+    return OltpWorkload(OltpParams(transactions=3, warmup_transactions=1),
+                        cpus_per_node=cpus)
+
+
+class TestRoundtrip:
+    def test_plain_text(self, tmp_path):
+        wl = small_oltp()
+        path = tmp_path / "t.trace"
+        n = record_thread(wl.thread_for(0, 0), path)
+        ilp, items = read_trace(path)
+        assert len(items) == n
+        assert ilp == wl.ilp
+        assert items == list(small_oltp().thread_for(0, 0))
+
+    def test_gzip(self, tmp_path):
+        wl = small_oltp()
+        path = tmp_path / "t.trace.gz"
+        record_thread(wl.thread_for(0, 0), path)
+        _, items = read_trace(path)
+        assert items == list(small_oltp().thread_for(0, 0))
+
+    def test_max_items(self, tmp_path):
+        wl = small_oltp()
+        path = tmp_path / "t.trace"
+        n = record_thread(wl.thread_for(0, 0), path, max_items=10)
+        assert n == 10
+        _, items = read_trace(path)
+        assert len(items) == 10
+
+    def test_kinds_preserved(self, tmp_path):
+        items_in = [
+            (5, AccessKind.LOAD, 0x1000, True),
+            (0, AccessKind.WH64, 0x2000, False),
+            (3, None, 0, True),
+            (1, AccessKind.IFETCH, 0x3000, True),
+        ]
+        path = tmp_path / "k.trace"
+        record_thread(WorkloadThread(iter(items_in), ilp=1.7), path)
+        ilp, items = read_trace(path)
+        assert items == items_in
+        assert ilp == 1.7
+
+
+class TestErrors:
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("not a trace\n")
+        with pytest.raises(TraceError):
+            read_trace(path)
+
+    def test_bad_record(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("#repro-trace v1 ilp=1.0\n1 2\n")
+        with pytest.raises(TraceError):
+            read_trace(path)
+
+
+class TestTraceWorkload:
+    def test_replay_through_simulator(self, tmp_path):
+        wl = small_oltp()
+        traced = record_workload(wl, tmp_path, nodes=1, cpus_per_node=2)
+        system = PiranhaSystem(preset("P2"), num_nodes=1)
+        system.attach_workload(traced)
+        finish = system.run_to_completion()
+        assert finish > 0
+
+    def test_replay_deterministically_matches_generator(self, tmp_path):
+        def run(workload):
+            system = PiranhaSystem(preset("P2"), num_nodes=1)
+            system.attach_workload(workload)
+            return system.run_to_completion()
+
+        t_gen = run(small_oltp())
+        traced = record_workload(small_oltp(), tmp_path, nodes=1,
+                                 cpus_per_node=2)
+        t_replay = run(traced)
+        assert t_gen == t_replay
+
+    def test_missing_cpu_gets_none(self, tmp_path):
+        traced = record_workload(small_oltp(), tmp_path, nodes=1,
+                                 cpus_per_node=2)
+        assert traced.thread_for(0, 5) is None
