@@ -13,31 +13,32 @@ import dataclasses
 
 import pytest
 
-from repro.core import PiranhaSystem, preset
-from repro.harness import format_table, scale_factor
-from repro.workloads import OltpParams, OltpWorkload
+from repro.core import preset
+from repro.harness import OltpFactory, format_table, run_jobs, scale_factor
+from repro.harness.parallel import Job
+from repro.workloads import OltpParams
 
 
-def run_variant(cpus: int, l2_kb: int) -> float:
-    scale = scale_factor()
-    params = OltpParams(
-        transactions=max(20, int(60 * scale)),
-        warmup_transactions=max(30, int(100 * scale)),
-    )
+def _variant_config(cpus: int, l2_kb: int):
     config = preset("P8").with_cpus(cpus, f"P{cpus}-{l2_kb}KB")
-    config = dataclasses.replace(
+    return dataclasses.replace(
         config, l2=dataclasses.replace(config.l2, size_bytes=l2_kb * 1024))
-    system = PiranhaSystem(config, num_nodes=1)
-    system.attach_workload(OltpWorkload(params, cpus_per_node=cpus))
-    system.run_to_completion()
-    per_cpu = max(c.total_ps for c in system.all_cpus())
-    return cpus * 1e12 / (per_cpu / params.transactions)
 
 
 def sweep():
     # a Piranha core + L1s is worth very roughly 128 KB of ASIC SRAM
     variants = [(8, 1024), (6, 1280), (4, 1536)]
-    return {(cpus, kb): run_variant(cpus, kb) for cpus, kb in variants}
+    scale = scale_factor()
+    params = OltpParams(
+        transactions=max(20, int(60 * scale)),
+        warmup_transactions=max(30, int(100 * scale)),
+    )
+    # independent points: fan out via the parallel/cached harness
+    results = run_jobs([
+        Job(config=_variant_config(cpus, kb), factory=OltpFactory(params))
+        for cpus, kb in variants
+    ])
+    return {key: r.throughput for key, r in zip(variants, results)}
 
 
 def test_cores_beat_cache(benchmark):

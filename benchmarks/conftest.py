@@ -1,12 +1,20 @@
 """Benchmark-suite configuration.
 
 Each benchmark regenerates one table or figure from the paper's evaluation
-and prints a paper-vs-measured comparison.  Simulation results are memoised
-inside :mod:`repro.harness.runner`, so pytest-benchmark's calibration
-re-invocations don't re-simulate.
+and prints a paper-vs-measured comparison.  Simulation results are
+memoised in-process (:mod:`repro.harness.runner`) and persisted on disk
+(:mod:`repro.harness.cache`), so pytest-benchmark's calibration
+re-invocations never re-simulate and a *re-run* of the whole suite is
+near-instant when the code hasn't changed.
 
-Set ``REPRO_SCALE=0.5`` (etc.) to shrink the simulated workloads for a
-quick pass.
+Knobs (environment):
+
+* ``REPRO_SCALE=0.5`` (etc.) — shrink the simulated workloads for a
+  quick pass.
+* ``REPRO_JOBS=N`` — fan the independent simulation points of each
+  figure out over N worker processes (0 = all cores).
+* ``REPRO_NO_CACHE=1`` — disable result caching (every invocation
+  re-simulates).
 """
 
 import pytest

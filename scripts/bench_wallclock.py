@@ -1,0 +1,217 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark for the simulation harness.
+
+Times a fixed OLTP/DSS workload mix through every performance layer and
+appends a record to ``BENCH_harness.json`` so the perf trajectory is
+tracked PR over PR:
+
+* **engine**: pure event-engine throughput (trivial self-rescheduling
+  callbacks) — isolates the ``Simulator.run``/``schedule`` fast path.
+* **single_sim**: one P8 OLTP and one P8 DSS simulation, uncached —
+  the end-to-end hot path (engine + caches + protocol + workload).
+* **sweep**: a multi-point L2-size sweep run three ways — serial and
+  uncached, through the parallel layer with a cold disk cache, and
+  again with a warm disk cache.  ``speedup_warm`` is the headline
+  "re-runs are near-instant" number; ``speedup_parallel`` only exceeds
+  1 on multi-core hosts (the record notes the core count).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_wallclock.py
+    PYTHONPATH=src python scripts/bench_wallclock.py --scale 0.25 --jobs 4
+    PYTHONPATH=src python scripts/bench_wallclock.py --quick
+
+Determinism makes the measurements comparable across runs: the simulated
+results are bit-for-bit identical in every mode, only wall-clock varies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from dataclasses import replace
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+
+def bench_engine(events: int = 400_000, chains: int = 16,
+                 repeats: int = 3) -> float:
+    """Events/second through the bare engine (best of *repeats*)."""
+    from repro.sim import Simulator
+
+    best = 0.0
+    for _ in range(repeats):
+        sim = Simulator()
+        per = events // chains
+
+        def chain(left: int, period: int) -> None:
+            if left:
+                sim.schedule(period, chain, left - 1, period)
+
+        for i in range(chains):
+            sim.schedule(i + 1, chain, per, 7 + i)
+        t0 = time.perf_counter()
+        sim.run()
+        rate = sim.events_fired / (time.perf_counter() - t0)
+        best = max(best, rate)
+    return best
+
+
+def bench_single_sims(scale: float) -> dict:
+    """One uncached P8 OLTP + P8 DSS simulation (the fixed mix)."""
+    from repro.core import PiranhaSystem, preset
+    from repro.workloads import DssParams, DssWorkload, OltpParams, OltpWorkload
+
+    op = OltpParams()
+    op = replace(op, transactions=max(20, int(op.transactions * scale)),
+                 warmup_transactions=max(40, int(op.warmup_transactions * scale)))
+    dp = DssParams()
+    dp = replace(dp, rows=max(60, int(dp.rows * scale)))
+
+    out = {}
+    for key, workload in (
+        ("oltp", lambda: OltpWorkload(op, cpus_per_node=8)),
+        ("dss", lambda: DssWorkload(dp, cpus_per_node=8)),
+    ):
+        system = PiranhaSystem(preset("P8"), num_nodes=1)
+        system.attach_workload(workload())
+        t0 = time.perf_counter()
+        system.run_to_completion()
+        wall = time.perf_counter() - t0
+        out[key] = {
+            "wall_s": round(wall, 4),
+            "events": system.sim.events_fired,
+            "events_per_s": round(system.sim.events_fired / wall),
+        }
+    out["total_s"] = round(out["oltp"]["wall_s"] + out["dss"]["wall_s"], 4)
+    return out
+
+
+def bench_sweep(scale: float, jobs: int, points: int) -> dict:
+    """The same multi-point sweep: serial-uncached, parallel-cold, warm."""
+    from repro.harness import OltpFactory, clear_cache
+    from repro.harness.sweep import sweep_field
+    from repro.workloads import OltpParams
+
+    params = OltpParams(
+        transactions=max(10, int(40 * scale)),
+        warmup_transactions=max(15, int(60 * scale)),
+    )
+    factory = OltpFactory(params)
+    values = [(256 + 256 * i) << 10 for i in range(points)]
+
+    def timed(jobs_n: int) -> "tuple[float, list]":
+        clear_cache()
+        t0 = time.perf_counter()
+        records = sweep_field("P2", factory, "l2.size_bytes", values,
+                              jobs=jobs_n)
+        return time.perf_counter() - t0, records
+
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    old_cache_dir = os.environ.get("REPRO_CACHE_DIR")
+    old_no_cache = os.environ.get("REPRO_NO_CACHE")
+    try:
+        os.environ["REPRO_CACHE_DIR"] = cache_dir
+
+        os.environ["REPRO_NO_CACHE"] = "1"
+        serial_s, serial_records = timed(1)
+
+        del os.environ["REPRO_NO_CACHE"]
+        parallel_s, parallel_records = timed(jobs)
+        warm_s, warm_records = timed(jobs)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+        if old_cache_dir is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = old_cache_dir
+        if old_no_cache is not None:
+            os.environ["REPRO_NO_CACHE"] = old_no_cache
+
+    assert parallel_records == serial_records, \
+        "parallel sweep diverged from serial records"
+    assert warm_records == serial_records, \
+        "cache-served sweep diverged from serial records"
+    return {
+        "points": points,
+        "jobs": jobs,
+        "serial_uncached_s": round(serial_s, 4),
+        "parallel_cold_s": round(parallel_s, 4),
+        "warm_cached_s": round(warm_s, 4),
+        "speedup_parallel": round(serial_s / parallel_s, 3),
+        "speedup_warm": round(serial_s / warm_s, 1),
+        "records_identical": True,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float,
+                        default=float(os.environ.get("REPRO_SCALE", "0.25")),
+                        help="workload scale for the timed mix")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="workers for the parallel sweep "
+                             "(default: min(4, cores))")
+    parser.add_argument("--points", type=int, default=6,
+                        help="sweep points (default 6)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller engine bench + 3-point sweep")
+    parser.add_argument("--out", default=os.path.join(REPO_ROOT,
+                                                      "BENCH_harness.json"))
+    args = parser.parse_args(argv)
+
+    os.environ["REPRO_SCALE"] = str(args.scale)
+    cores = os.cpu_count() or 1
+    jobs = args.jobs if args.jobs is not None else min(4, cores)
+    points = 3 if args.quick else args.points
+    engine_events = 100_000 if args.quick else 400_000
+
+    print(f"engine microbench ({engine_events} events)...")
+    engine_rate = bench_engine(events=engine_events)
+    print(f"  {engine_rate:,.0f} events/s")
+
+    print(f"single sims (P8 OLTP + P8 DSS, scale={args.scale})...")
+    single = bench_single_sims(args.scale)
+    print(f"  oltp {single['oltp']['wall_s']}s, dss {single['dss']['wall_s']}s"
+          f" ({single['oltp']['events_per_s']:,} ev/s)")
+
+    print(f"{points}-point L2 sweep (serial / jobs={jobs} cold / warm)...")
+    sweep = bench_sweep(args.scale, jobs, points)
+    print(f"  serial {sweep['serial_uncached_s']}s, "
+          f"parallel {sweep['parallel_cold_s']}s, "
+          f"warm {sweep['warm_cached_s']}s "
+          f"(warm speedup {sweep['speedup_warm']}x)")
+
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "scale": args.scale,
+        "cores": cores,
+        "python": sys.version.split()[0],
+        "engine_events_per_s": round(engine_rate),
+        "single_sim": single,
+        "sweep": sweep,
+    }
+
+    history = {"records": []}
+    if os.path.exists(args.out):
+        try:
+            with open(args.out, "r", encoding="utf-8") as f:
+                history = json.load(f)
+        except (OSError, ValueError):
+            pass
+    history.setdefault("records", []).append(record)
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(history, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"appended record to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

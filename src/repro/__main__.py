@@ -4,9 +4,17 @@ Runs one workload on one configuration and prints the standard report::
 
     python -m repro run --config P8 --workload oltp
     python -m repro run --config P4 --nodes 4 --workload oltp --check
+    python -m repro sweep --config P8 --workload oltp \
+        --field l2.size_bytes --values 512K,1M,2M --jobs 4
+    python -m repro cache
+    python -m repro cache --clear
     python -m repro table1
     python -m repro floorplan
     python -m repro list
+
+Sweeps fan out across processes with ``--jobs N`` (or ``REPRO_JOBS``),
+and all harness entry points reuse the persistent result cache; see the
+README's "Performance" section.
 """
 
 from __future__ import annotations
@@ -88,6 +96,76 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_value(text: str):
+    """Parse one swept value: int (with K/M/G suffix), float, or string."""
+    text = text.strip()
+    suffixes = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30}
+    if text and text[-1].upper() in suffixes:
+        try:
+            return int(float(text[:-1]) * suffixes[text[-1].upper()])
+        except ValueError:
+            pass
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """``sweep``: run one workload across a family of derived configs."""
+    from .harness import FACTORIES, UNITS_ATTR, format_table
+    from .harness.sweep import sweep_field
+
+    values = [_parse_value(v) for v in args.values.split(",") if v.strip()]
+    if not values:
+        print("no sweep values given", file=sys.stderr)
+        return 2
+    factory = FACTORIES[args.workload]()
+    print(f"sweeping {args.config}.{args.field} over {values} "
+          f"({args.workload}, jobs={args.jobs if args.jobs else 'auto'})")
+    try:
+        records = sweep_field(
+            args.config, factory, args.field, values, num_nodes=args.nodes,
+            units_attr=UNITS_ATTR[args.workload], jobs=args.jobs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rows = [
+        [r["value"], f"{r['throughput']:.3g}", f"{r['time_per_unit_ns']:.1f}",
+         f"{r['busy_frac']:.2f}", f"{r['l2_frac']:.2f}",
+         f"{r['mem_frac']:.2f}", f"{r['miss_mem_frac']:.2f}"]
+        for r in records
+    ]
+    print(format_table(
+        [args.field, "throughput", "ns/unit", "busy", "l2", "mem",
+         "miss_mem"], rows,
+        title=f"{args.config} {args.workload} sweep"))
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """``cache``: inspect or clear the persistent result cache."""
+    from .harness import DISK_CACHE
+    from .harness.runner import memo_cache_info
+
+    if args.clear:
+        removed = DISK_CACHE.clear()
+        print(f"cleared {removed} cached results from {DISK_CACHE.path}")
+        return 0
+    info = DISK_CACHE.info()
+    print(f"disk cache : {info['path']}")
+    print(f"  enabled  : {info['enabled']} (REPRO_NO_CACHE disables)")
+    print(f"  entries  : {info['entries']} ({info['bytes']} bytes)")
+    print(f"  hits     : {info['hits']}  misses: {info['misses']} "
+          f"(this process)")
+    memo = memo_cache_info()
+    print(f"memo cache : {memo['entries']} entries, "
+          f"{memo['hits']} hits / {memo['misses']} misses (this process)")
+    return 0
+
+
 def cmd_table1(_args: argparse.Namespace) -> int:
     """``table1``: print the regenerated Table 1."""
     table = table1()
@@ -136,6 +214,27 @@ def main(argv=None) -> int:
     run_p.add_argument("--report", action="store_true",
                        help="print the full per-module performance report")
     run_p.set_defaults(fn=cmd_run)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="sweep one config field over a set of values")
+    sweep_p.add_argument("--config", default="P8", choices=sorted(PRESETS))
+    sweep_p.add_argument("--workload", default="oltp",
+                         choices=sorted(WORKLOADS))
+    sweep_p.add_argument("--field", required=True,
+                         help="dotted config field, e.g. l2.size_bytes")
+    sweep_p.add_argument("--values", required=True,
+                         help="comma-separated values (K/M/G suffixes ok)")
+    sweep_p.add_argument("--nodes", type=int, default=1)
+    sweep_p.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: REPRO_JOBS or 1; "
+                             "0 = all cores)")
+    sweep_p.set_defaults(fn=cmd_sweep)
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect or clear the persistent result cache")
+    cache_p.add_argument("--clear", action="store_true",
+                         help="delete every cached result")
+    cache_p.set_defaults(fn=cmd_cache)
 
     sub.add_parser("table1", help="print Table 1").set_defaults(fn=cmd_table1)
     sub.add_parser("floorplan",

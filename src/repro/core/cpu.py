@@ -61,6 +61,7 @@ class CpuCore(Component):
         self.config = config
         self.clock = config.core.clock()
         self.thread: Optional[Iterator[WorkItem]] = None
+        self._l1i = self._l1d = None  # resolved in start()
         self.finished = False
         self.finish_time: Optional[int] = None
         self.start_time: int = 0
@@ -95,6 +96,9 @@ class CpuCore(Component):
         """Begin consuming the attached workload thread."""
         if self.thread is None:
             raise RuntimeError(f"{self.name}: no workload attached")
+        # resolve the iL1/dL1 once; _run consults them per memory reference
+        self._l1i = self.chip.l1_of(self.cpu_id, True)
+        self._l1d = self.chip.l1_of(self.cpu_id, False)
         self.start_time = self.now
         self.schedule(0, self._run)
 
@@ -191,7 +195,7 @@ class InOrderCpu(CpuCore):
                 tlb = self.itlb if is_instr else self.dtlb
                 if not tlb.lookup(addr):
                     accum += self.tlb_refill_ps  # PAL refill executes code
-            l1 = self.chip.l1_of(self.cpu_id, is_instr)
+            l1 = self._l1i if is_instr else self._l1d
             result = l1.lookup(addr, kind)
             if result.hit:
                 if batch >= MAX_BATCH_INSTRUCTIONS:
@@ -279,7 +283,7 @@ class OooCpu(CpuCore):
                 tlb = self.itlb if is_instr else self.dtlb
                 if not tlb.lookup(addr):
                     accum += self.tlb_refill_ps
-            l1 = self.chip.l1_of(self.cpu_id, is_instr)
+            l1 = self._l1i if is_instr else self._l1d
             result = l1.lookup(addr, kind)
             if result.hit:
                 if batch >= MAX_BATCH_INSTRUCTIONS:

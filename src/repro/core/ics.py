@@ -59,16 +59,20 @@ class IntraChipSwitch(Component):
             raise ValueError("transfer size must be positive")
         if lane not in (LANE_LOW, LANE_HIGH):
             raise ValueError(f"unknown ICS lane {lane}")
-        now = self.now
+        now = self.sim.now
         # Pick the earliest-free datapath (the hardware pre-allocates via
         # the target-hint mechanism; earliest-free is equivalent here).
-        path = min(range(DATAPATHS), key=lambda i: self._datapath_free[i])
-        start = max(now, self._datapath_free[path])
+        # index(min(...)) picks the same first-minimal path as
+        # min(range, key=...) but stays in C — this is a per-miss hot path.
+        free = self._datapath_free
+        earliest = min(free)
+        path = free.index(earliest)
+        start = now if now > earliest else earliest
         if start > now:
             self.c_conflicts.inc()
         cycles = -(-size_bytes // BYTES_PER_CYCLE)  # ceil division
         busy_ps = cycles * self.clock.period_ps
-        self._datapath_free[path] = start + busy_ps
+        free[path] = start + busy_ps
         self.c_transfers.inc()
         self.c_bytes.inc(size_bytes)
         self.c_lane[lane].inc()

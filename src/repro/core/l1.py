@@ -94,11 +94,12 @@ class L1Cache:
         issued (Section 2.5.3's third request type).
         """
         self.n_lookups += 1
-        line = self.peek(addr)
+        tag = addr >> LINE_SHIFT
+        lru_set = self.sets[tag & self._set_mask]
+        line = lru_set.get(tag)
         if line is None or line.state == MESI.INVALID:
             return LookupResult(False, False, MESI.INVALID)
-        lru_set = self.sets[self._index(addr)]
-        lru_set.move_to_end(line.tag)
+        lru_set.move_to_end(tag)
         is_write = kind in (AccessKind.STORE, AccessKind.STORE_COND, AccessKind.WH64)
         if is_write:
             if line.state == MESI.SHARED:

@@ -1,0 +1,217 @@
+"""Persistent on-disk result cache for deterministic simulations.
+
+Every simulation in this library is a pure function of its inputs: the
+configuration, the workload parameters, the node count and the library
+code itself (DESIGN.md, "Determinism").  That makes whole ``RunResult``
+records safely cacheable across processes — a re-run of a benchmark or
+example that already simulated a point can return the stored record
+bit-for-bit instead of re-simulating.
+
+Keys combine:
+
+* a digest of the fully-resolved :class:`~repro.core.config.ChipConfig`
+  (every latency, cache geometry and core parameter),
+* a workload token (factory class + parameters, see
+  :func:`workload_token`),
+* node count, units attribute, ``REPRO_SCALE``,
+* a fingerprint of the installed ``repro`` source tree plus
+  ``repro.__version__`` — any code change invalidates the whole cache,
+  so stale results can never leak across library versions.
+
+Environment knobs:
+
+* ``REPRO_CACHE_DIR`` — cache directory (default
+  ``$XDG_CACHE_HOME/piranha-repro`` or ``~/.cache/piranha-repro``).
+* ``REPRO_NO_CACHE=1`` — disable both this cache and the in-process memo.
+
+Entries are one JSON file per result, written atomically (tmp + rename),
+so concurrent writers (e.g. the parallel harness's workers' parent) can
+never expose a torn record.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, Optional
+
+_FINGERPRINT: Optional[str] = None
+
+
+def cache_enabled() -> bool:
+    """Result caching is on unless ``REPRO_NO_CACHE`` is truthy."""
+    return os.environ.get("REPRO_NO_CACHE", "") not in ("1", "true", "yes")
+
+
+def cache_dir() -> str:
+    """Resolve the on-disk cache directory (not created until first put)."""
+    explicit = os.environ.get("REPRO_CACHE_DIR")
+    if explicit:
+        return explicit
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "piranha-repro")
+
+
+def library_fingerprint() -> str:
+    """Digest of the installed ``repro`` sources (plus ``__version__``).
+
+    Computed once per process; any edit to any module under ``repro``
+    yields a different fingerprint, so cached results can never survive a
+    code change that might alter simulation behaviour.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        import repro
+
+        h = hashlib.sha256()
+        h.update(repro.__version__.encode())
+        pkg_dir = os.path.dirname(os.path.abspath(repro.__file__))
+        for root, dirs, files in sorted(os.walk(pkg_dir)):
+            dirs.sort()
+            for fname in sorted(files):
+                if not fname.endswith(".py"):
+                    continue
+                path = os.path.join(root, fname)
+                h.update(os.path.relpath(path, pkg_dir).encode())
+                with open(path, "rb") as f:
+                    h.update(f.read())
+        _FINGERPRINT = h.hexdigest()
+    return _FINGERPRINT
+
+
+def config_digest(config) -> str:
+    """Stable digest of a fully-resolved ChipConfig (all nested fields)."""
+    payload = json.dumps(dataclasses.asdict(config), sort_keys=True,
+                         default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def workload_token(factory) -> Optional[str]:
+    """Stable identity for a workload factory, or None if opaque.
+
+    Factories can provide an explicit ``cache_token`` attribute/method;
+    frozen-dataclass factories (the ones in
+    :mod:`repro.harness.experiments`) token themselves via their
+    deterministic dataclass repr.  Opaque callables (closures, lambdas)
+    return None: they stay memo-cacheable in-process but are excluded
+    from the disk cache, because their parameters cannot be fingerprinted.
+    """
+    token = getattr(factory, "cache_token", None)
+    if token is not None:
+        return str(token() if callable(token) else token)
+    if dataclasses.is_dataclass(factory) and not isinstance(factory, type):
+        cls = type(factory)
+        return f"{cls.__module__}.{cls.__qualname__}:{factory!r}"
+    return None
+
+
+def result_key(config, factory, num_nodes: int, units_attr: str,
+               check_coherence: bool, cache_key_extra: tuple) -> Optional[str]:
+    """Disk-cache key for one simulation point, or None if unkeyable."""
+    token = workload_token(factory)
+    if token is None:
+        return None
+    payload = json.dumps(
+        {
+            "lib": library_fingerprint(),
+            "config": config_digest(config),
+            "workload": token,
+            "nodes": num_nodes,
+            "units_attr": units_attr,
+            "check": bool(check_coherence),
+            "extra": [str(x) for x in cache_key_extra],
+            "scale": os.environ.get("REPRO_SCALE", "1.0"),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class DiskCache:
+    """A directory of JSON-serialised :class:`RunResult` records."""
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self._path = path
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def path(self) -> str:
+        return self._path or cache_dir()
+
+    def _file(self, key: str) -> str:
+        return os.path.join(self.path, key[:2], key + ".json")
+
+    def get(self, key: Optional[str]):
+        """Return the cached RunResult for *key*, or None."""
+        from .runner import RunResult
+
+        if key is None or not cache_enabled():
+            return None
+        try:
+            with open(self._file(key), "r", encoding="utf-8") as f:
+                payload = json.load(f)
+            result = RunResult(**payload["result"])
+        except (OSError, ValueError, TypeError, KeyError):
+            # missing, torn, or schema-incompatible entry: treat as a miss
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: Optional[str], result) -> None:
+        """Store *result* under *key* (atomic; no-op when disabled)."""
+        if key is None or not cache_enabled():
+            return
+        path = self._file(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = {"result": dataclasses.asdict(result)}
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                json.dump(payload, f, sort_keys=True)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def info(self) -> Dict[str, Any]:
+        """Entry count / size / hit counters (for ``python -m repro cache``)."""
+        entries = 0
+        size = 0
+        if os.path.isdir(self.path):
+            for root, _dirs, files in os.walk(self.path):
+                for fname in files:
+                    if fname.endswith(".json"):
+                        entries += 1
+                        try:
+                            size += os.path.getsize(os.path.join(root, fname))
+                        except OSError:
+                            pass
+        return {"path": self.path, "entries": entries, "bytes": size,
+                "hits": self.hits, "misses": self.misses,
+                "enabled": cache_enabled()}
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        if os.path.isdir(self.path):
+            for root, _dirs, files in os.walk(self.path):
+                for fname in files:
+                    if fname.endswith(".json"):
+                        try:
+                            os.unlink(os.path.join(root, fname))
+                            removed += 1
+                        except OSError:
+                            pass
+        return removed
+
+
+#: process-wide disk cache used by the runner / parallel harness
+DISK_CACHE = DiskCache()

@@ -4,21 +4,31 @@ Each ``figureN()`` / ``tableN()`` function regenerates the corresponding
 paper result and returns a structured record including the paper's
 reference values, so callers (benchmarks, EXPERIMENTS.md) can print
 paper-vs-measured rows.
+
+Workload factories are frozen dataclasses rather than closures so that
+(a) they pickle across the process-pool boundary
+(:mod:`repro.harness.parallel`) and (b) their reprs serve as stable disk
+cache tokens (:func:`repro.harness.cache.workload_token`).  Figures that
+simulate several independent points dispatch them through
+:func:`run_points`, which honours ``REPRO_JOBS``.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import Dict, Optional
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.config import table1
+from ..core.config import preset, table1
 from ..workloads.dss import DssParams, DssWorkload
+from ..workloads.micro import MicroParams, MigratoryWrites
 from ..workloads.oltp import OltpParams, OltpWorkload
 from ..workloads.tpcc import TpccWorkload, tpcc_params
+from ..workloads.web import WebParams, WebWorkload
+from .parallel import Job, run_jobs
 from .runner import RunResult, run_workload, scale_factor
 
 
-def _oltp_params(extra_key: str = "") -> OltpParams:
+def _oltp_params() -> OltpParams:
     scale = scale_factor()
     base = OltpParams()
     if scale != 1.0:
@@ -30,49 +40,141 @@ def _oltp_params(extra_key: str = "") -> OltpParams:
     return base
 
 
-def _oltp_factory(params: Optional[OltpParams] = None):
-    def factory(config, num_nodes):
-        return OltpWorkload(params or _oltp_params(),
+@dataclass(frozen=True)
+class OltpFactory:
+    """TPC-B-like OLTP workload builder (picklable, cache-tokenable)."""
+
+    params: Optional[OltpParams] = None
+
+    def __call__(self, config, num_nodes):
+        return OltpWorkload(self.params or _oltp_params(),
                             cpus_per_node=config.cpus, num_nodes=num_nodes)
-    return factory
 
 
-def _dss_factory(params: Optional[DssParams] = None):
-    def factory(config, num_nodes):
-        p = params
+@dataclass(frozen=True)
+class DssFactory:
+    """DSS (TPC-D-like scan) workload builder."""
+
+    params: Optional[DssParams] = None
+
+    def __call__(self, config, num_nodes):
+        p = self.params
         if p is None:
             scale = scale_factor()
             p = DssParams()
             if scale != 1.0:
                 p = replace(p, rows=max(60, int(p.rows * scale)))
         return DssWorkload(p, cpus_per_node=config.cpus, num_nodes=num_nodes)
-    return factory
 
 
-def _tpcc_factory():
-    def factory(config, num_nodes):
-        base = tpcc_params(_oltp_params())
+@dataclass(frozen=True)
+class TpccFactory:
+    """TPC-C-like workload builder (derives params from the TPC-B base)."""
+
+    params: Optional[OltpParams] = None
+
+    def __call__(self, config, num_nodes):
+        base = tpcc_params(self.params or _oltp_params())
         return TpccWorkload(base, cpus_per_node=config.cpus,
                             num_nodes=num_nodes)
-    return factory
+
+
+@dataclass(frozen=True)
+class WebFactory:
+    """AltaVista-like web-search workload builder."""
+
+    params: Optional[WebParams] = None
+
+    def __call__(self, config, num_nodes):
+        p = self.params
+        if p is None:
+            scale = scale_factor()
+            p = WebParams()
+            if scale != 1.0:
+                p = replace(p, queries=max(40, int(p.queries * scale)))
+        return WebWorkload(p, cpus_per_node=config.cpus, num_nodes=num_nodes)
+
+
+@dataclass(frozen=True)
+class MigratoryFactory:
+    """Migratory-writes microbenchmark builder."""
+
+    params: Optional[MicroParams] = None
+
+    def __call__(self, config, num_nodes):
+        p = self.params
+        if p is None:
+            scale = scale_factor()
+            p = MicroParams()
+            if scale != 1.0:
+                p = replace(p, iterations=max(200, int(p.iterations * scale)))
+        return MigratoryWrites(p, cpus_per_node=config.cpus,
+                               num_nodes=num_nodes)
+
+
+#: name -> factory class, for the CLI sweep command and ad-hoc studies
+FACTORIES = {
+    "oltp": OltpFactory,
+    "dss": DssFactory,
+    "tpcc": TpccFactory,
+    "web": WebFactory,
+    "migratory": MigratoryFactory,
+}
+
+#: units attribute measured per workload
+UNITS_ATTR = {
+    "oltp": "transactions",
+    "dss": "rows",
+    "tpcc": "transactions",
+    "web": "queries",
+    "migratory": "iterations",
+}
+
+
+# legacy closure-style helpers, kept for API compatibility
+def _oltp_factory(params: Optional[OltpParams] = None) -> OltpFactory:
+    return OltpFactory(params)
+
+
+def _dss_factory(params: Optional[DssParams] = None) -> DssFactory:
+    return DssFactory(params)
+
+
+def _tpcc_factory() -> TpccFactory:
+    return TpccFactory()
 
 
 def run_oltp(config_name: str, num_nodes: int = 1, **kw) -> RunResult:
-    return run_workload(config_name, _oltp_factory(), num_nodes,
+    return run_workload(config_name, OltpFactory(), num_nodes,
                         units_attr="transactions",
                         cache_key_extra=("oltp", scale_factor()), **kw)
 
 
 def run_dss(config_name: str, num_nodes: int = 1, **kw) -> RunResult:
-    return run_workload(config_name, _dss_factory(), num_nodes,
+    return run_workload(config_name, DssFactory(), num_nodes,
                         units_attr="rows",
                         cache_key_extra=("dss", scale_factor()), **kw)
 
 
 def run_tpcc(config_name: str, num_nodes: int = 1, **kw) -> RunResult:
-    return run_workload(config_name, _tpcc_factory(), num_nodes,
+    return run_workload(config_name, TpccFactory(), num_nodes,
                         units_attr="transactions",
                         cache_key_extra=("tpcc", scale_factor()), **kw)
+
+
+def run_points(points: Sequence[Tuple[str, str, int]],
+               jobs: Optional[int] = None) -> List[RunResult]:
+    """Run ``(workload, config_name, num_nodes)`` points, honouring
+    ``REPRO_JOBS``: the independent simulations behind one figure fan out
+    across worker processes, serially when unset."""
+    scale = scale_factor()
+    job_specs = [
+        Job(config=preset(config_name), factory=FACTORIES[workload](),
+            num_nodes=num_nodes, units_attr=UNITS_ATTR[workload],
+            cache_key_extra=(workload, scale))
+        for workload, config_name, num_nodes in points
+    ]
+    return run_jobs(job_specs, jobs=jobs)
 
 
 # ---------------------------------------------------------------------------
@@ -98,8 +200,8 @@ FIGURE5_PAPER = {
 def figure5(workload: str = "oltp") -> Dict[str, object]:
     """Normalised execution time (OOO=100) with busy / L2 / mem breakdown
     for P1, OOO, INO and P8."""
-    runner = run_oltp if workload == "oltp" else run_dss
-    results = {name: runner(name) for name in ("P1", "OOO", "INO", "P8")}
+    names = ("P1", "OOO", "INO", "P8")
+    results = dict(zip(names, run_points([(workload, n, 1) for n in names])))
     # per-chip throughput comparison: normalise per-chip time per unit of
     # work (P8's 8 CPUs all contribute)
     per_chip_time = {
@@ -126,7 +228,9 @@ FIGURE6A_PAPER = {1: 1.0, 2: 1.9, 4: 3.7, 8: 6.9}
 
 
 def figure6a() -> Dict[str, object]:
-    results = {n: run_oltp(f"P{n}") for n in (1, 2, 4, 8)}
+    counts = (1, 2, 4, 8)
+    results = dict(zip(
+        counts, run_points([("oltp", f"P{n}", 1) for n in counts])))
     base = results[1].throughput
     speedups = {n: r.throughput / base for n, r in results.items()}
     return {"results": results, "speedups": speedups,
@@ -146,11 +250,13 @@ FIGURE6B_PAPER = {
 
 
 def figure6b() -> Dict[str, object]:
-    rows = {}
-    for n in (1, 2, 4, 8):
-        r = run_oltp(f"P{n}")
-        rows[n] = {"hit": r.miss_hit_frac, "fwd": r.miss_fwd_frac,
-                   "mem": r.miss_mem_frac}
+    counts = (1, 2, 4, 8)
+    results = run_points([("oltp", f"P{n}", 1) for n in counts])
+    rows = {
+        n: {"hit": r.miss_hit_frac, "fwd": r.miss_fwd_frac,
+            "mem": r.miss_mem_frac}
+        for n, r in zip(counts, results)
+    }
     return {"measured": rows, "paper": FIGURE6B_PAPER}
 
 
@@ -163,8 +269,12 @@ FIGURE7_PAPER = {"piranha_4chip": 3.0, "ooo_4chip": 2.6,
 
 
 def figure7() -> Dict[str, object]:
-    piranha = {n: run_oltp("P4", num_nodes=n) for n in (1, 2, 4)}
-    ooo = {n: run_oltp("OOO", num_nodes=n) for n in (1, 2, 4)}
+    counts = (1, 2, 4)
+    points = ([("oltp", "P4", n) for n in counts]
+              + [("oltp", "OOO", n) for n in counts])
+    results = run_points(points)
+    piranha = dict(zip(counts, results[:3]))
+    ooo = dict(zip(counts, results[3:]))
     return {
         "piranha": piranha,
         "ooo": ooo,
@@ -188,10 +298,9 @@ FIGURE8_PAPER = {"oltp": 5.0, "dss": 5.3}
 
 def figure8() -> Dict[str, object]:
     out = {}
-    for workload, runner in (("oltp", run_oltp), ("dss", run_dss)):
-        p8f = runner("P8F")
-        ooo = runner("OOO")
-        p8 = runner("P8")
+    for workload in ("oltp", "dss"):
+        p8f, ooo, p8 = run_points(
+            [(workload, name, 1) for name in ("P8F", "OOO", "P8")])
         out[workload] = {
             "p8f_over_ooo": p8f.throughput / ooo.throughput,
             "p8_over_ooo": p8.throughput / ooo.throughput,
@@ -206,8 +315,7 @@ def figure8() -> Dict[str, object]:
 
 def tpcc_sensitivity() -> Dict[str, float]:
     """P8 outperforms OOO by over a factor of 3 on TPC-C."""
-    p8 = run_tpcc("P8")
-    ooo = run_tpcc("OOO")
+    p8, ooo = run_points([("tpcc", "P8", 1), ("tpcc", "OOO", 1)])
     return {
         "p8_over_ooo": p8.throughput / ooo.throughput,
         "paper_lower_bound": 3.0,
@@ -217,9 +325,8 @@ def tpcc_sensitivity() -> Dict[str, float]:
 def pessimistic_sensitivity() -> Dict[str, float]:
     """400 MHz CPUs / 32 KB 1-way L1s / 22-32 ns L2: the paper reports a
     29% execution-time increase, with P8 still 2.25x over OOO."""
-    p8 = run_oltp("P8")
-    pess = run_oltp("P8-pessimistic")
-    ooo = run_oltp("OOO")
+    p8, pess, ooo = run_points(
+        [("oltp", "P8", 1), ("oltp", "P8-pessimistic", 1), ("oltp", "OOO", 1)])
     return {
         "exec_time_increase": pess.time_per_unit_ns / p8.time_per_unit_ns - 1,
         "pess_over_ooo": pess.throughput / ooo.throughput,

@@ -1,14 +1,24 @@
 """Experiment runner: build a system, attach a workload, measure.
 
 All figure/table regeneration (``repro.harness.experiments``) goes through
-:func:`run_workload`, which returns a :class:`RunResult` with the
-normalised execution-time breakdown (Figure 5's CPU-busy / L2-hit / L2-miss
-decomposition), the L1-miss service decomposition (Figure 6b), and a
-throughput figure of merit.
+:func:`run_workload` / :func:`run_configured`, which return a
+:class:`RunResult` with the normalised execution-time breakdown (Figure
+5's CPU-busy / L2-hit / L2-miss decomposition), the L1-miss service
+decomposition (Figure 6b), and a throughput figure of merit.
 
-Simulations are deterministic, so results are memoised per
-(configuration, workload, nodes) within a process — pytest-benchmark can
-re-invoke a bench without re-simulating.
+Simulations are deterministic, so results are cached at two levels:
+
+* an in-process **memo** (:class:`MemoCache`) so pytest-benchmark can
+  re-invoke a bench without re-simulating, and
+* the persistent **disk cache** (:mod:`repro.harness.cache`) so fresh
+  processes — re-runs of benchmarks, examples, CI — skip simulation
+  entirely when the code, config and workload are unchanged.
+
+Set ``REPRO_NO_CACHE=1`` to disable both; :func:`memo_cache_info`
+exposes the memo's contents and hit/miss counters, and every returned
+``RunResult`` carries the current counters in ``extras`` (telemetry
+only — the measurement payload of a RunResult is deterministic, extras
+and ``sim_wall_s`` are not).
 """
 
 from __future__ import annotations
@@ -16,11 +26,18 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from ..core.checker import CoherenceChecker
 from ..core.config import ChipConfig, preset
 from ..core.system import PiranhaSystem
+from .cache import (
+    DISK_CACHE,
+    cache_enabled,
+    config_digest,
+    result_key,
+    workload_token,
+)
 
 
 def scale_factor() -> float:
@@ -31,7 +48,14 @@ def scale_factor() -> float:
 
 @dataclass
 class RunResult:
-    """Outcome of one simulated configuration."""
+    """Outcome of one simulated configuration.
+
+    Every field except ``sim_wall_s`` and ``extras`` is a deterministic
+    function of (config, workload, nodes, library code): serial, parallel
+    and cached executions of the same point agree bit-for-bit on the
+    measurement payload.  ``sim_wall_s`` is host wall-clock;``extras``
+    carries harness telemetry (cache counters).
+    """
 
     config: str
     cpus: int
@@ -53,29 +77,86 @@ class RunResult:
     def normalized_breakdown(self) -> Tuple[float, float, float]:
         return (self.busy_frac, self.l2_frac, self.mem_frac)
 
+    def payload_tuple(self) -> tuple:
+        """The deterministic fields (everything except wall time/extras)."""
+        return (self.config, self.cpus, self.nodes, self.workload,
+                self.units, self.time_per_unit_ns, self.throughput,
+                self.busy_frac, self.l2_frac, self.mem_frac,
+                self.miss_hit_frac, self.miss_fwd_frac, self.miss_mem_frac)
 
-_CACHE: Dict[tuple, RunResult] = {}
+
+class MemoCache:
+    """In-process RunResult memo with hit/miss counters."""
+
+    def __init__(self) -> None:
+        self._store: Dict[tuple, RunResult] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple) -> Optional[RunResult]:
+        result = self._store.get(key)
+        if result is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return result
+
+    def put(self, key: tuple, result: RunResult) -> None:
+        self._store[key] = result
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    def info(self) -> Dict[str, object]:
+        """Snapshot: entry count, hit/miss counters, cached point names."""
+        return {
+            "entries": len(self._store),
+            "hits": self.hits,
+            "misses": self.misses,
+            "keys": sorted(str(k) for k in self._store),
+        }
 
 
-def run_workload(
-    config_name: str,
+_MEMO = MemoCache()
+
+
+def clear_cache() -> None:
+    """Drop every memoised result (the disk cache is left alone)."""
+    _MEMO.clear()
+
+
+def memo_cache_info() -> Dict[str, object]:
+    """Inspect the in-process memo (entries, hits, misses, keys)."""
+    return _MEMO.info()
+
+
+def _memo_key(config: ChipConfig, workload_factory: Callable,
+              num_nodes: int, units_attr: str, check_coherence: bool,
+              cache_key_extra: tuple) -> tuple:
+    token = workload_token(workload_factory)
+    if token is None:
+        # opaque callable: fall back to its qualname; cache_key_extra is
+        # the caller's discriminator (as it was before disk caching)
+        token = getattr(workload_factory, "__qualname__",
+                        type(workload_factory).__qualname__)
+    return (config_digest(config), token, num_nodes, units_attr,
+            check_coherence, cache_key_extra)
+
+
+def simulate(
+    config: ChipConfig,
     workload_factory: Callable[[ChipConfig, int], object],
     num_nodes: int = 1,
     units_attr: str = "transactions",
     check_coherence: bool = False,
-    cache_key_extra: tuple = (),
 ) -> RunResult:
-    """Simulate one configuration under one workload.
+    """Run one simulation point, uncached.
 
-    ``workload_factory(config, num_nodes)`` builds the workload; its
-    ``params.<units_attr>`` gives the measured units per CPU.
+    This is the single shared measurement implementation: the runner, the
+    sweep harness and the parallel workers all assemble their metrics
+    here, so the busy/L2/mem fractions and the miss breakdown cannot
+    drift between entry points.
     """
-    key = (config_name, num_nodes, units_attr, cache_key_extra)
-    cached = _CACHE.get(key)
-    if cached is not None:
-        return cached
-
-    config = preset(config_name)
     workload = workload_factory(config, num_nodes)
     checker = CoherenceChecker() if check_coherence else None
     system = PiranhaSystem(config, num_nodes=num_nodes, checker=checker)
@@ -97,8 +178,8 @@ def run_workload(
     mb = system.miss_breakdown()
     misses = sum(mb.values()) or 1
 
-    result = RunResult(
-        config=config_name,
+    return RunResult(
+        config=config.name,
         cpus=config.cpus,
         nodes=num_nodes,
         workload=getattr(workload, "name", "?"),
@@ -113,9 +194,94 @@ def run_workload(
         miss_mem_frac=mb["l2_miss"] / misses,
         sim_wall_s=wall,
     )
-    _CACHE[key] = result
+
+
+def _attach_telemetry(result: RunResult) -> RunResult:
+    result.extras["cache_memo_hits"] = float(_MEMO.hits)
+    result.extras["cache_memo_misses"] = float(_MEMO.misses)
+    result.extras["cache_disk_hits"] = float(DISK_CACHE.hits)
     return result
 
 
-def clear_cache() -> None:
-    _CACHE.clear()
+def cached_result(
+    config: ChipConfig,
+    workload_factory: Callable,
+    num_nodes: int = 1,
+    units_attr: str = "transactions",
+    check_coherence: bool = False,
+    cache_key_extra: tuple = (),
+) -> Optional[RunResult]:
+    """Memo/disk lookup for one point; None on miss (or caching off)."""
+    if not cache_enabled():
+        return None
+    memo_key = _memo_key(config, workload_factory, num_nodes, units_attr,
+                         check_coherence, cache_key_extra)
+    result = _MEMO.get(memo_key)
+    if result is not None:
+        return _attach_telemetry(result)
+    disk_key = result_key(config, workload_factory, num_nodes, units_attr,
+                          check_coherence, cache_key_extra)
+    result = DISK_CACHE.get(disk_key)
+    if result is not None:
+        _MEMO.put(memo_key, result)
+        return _attach_telemetry(result)
+    return None
+
+
+def store_result(
+    result: RunResult,
+    config: ChipConfig,
+    workload_factory: Callable,
+    num_nodes: int = 1,
+    units_attr: str = "transactions",
+    check_coherence: bool = False,
+    cache_key_extra: tuple = (),
+) -> None:
+    """Record a freshly simulated point in the memo and disk caches."""
+    if not cache_enabled():
+        return
+    _MEMO.put(_memo_key(config, workload_factory, num_nodes, units_attr,
+                        check_coherence, cache_key_extra), result)
+    DISK_CACHE.put(
+        result_key(config, workload_factory, num_nodes, units_attr,
+                   check_coherence, cache_key_extra), result)
+
+
+def run_configured(
+    config: ChipConfig,
+    workload_factory: Callable[[ChipConfig, int], object],
+    num_nodes: int = 1,
+    units_attr: str = "transactions",
+    check_coherence: bool = False,
+    cache_key_extra: tuple = (),
+) -> RunResult:
+    """Simulate one explicit configuration, with two-level caching."""
+    cached = cached_result(config, workload_factory, num_nodes, units_attr,
+                           check_coherence, cache_key_extra)
+    if cached is not None:
+        return cached
+    result = simulate(config, workload_factory, num_nodes, units_attr,
+                      check_coherence)
+    store_result(result, config, workload_factory, num_nodes, units_attr,
+                 check_coherence, cache_key_extra)
+    return _attach_telemetry(result)
+
+
+def run_workload(
+    config_name: str,
+    workload_factory: Callable[[ChipConfig, int], object],
+    num_nodes: int = 1,
+    units_attr: str = "transactions",
+    check_coherence: bool = False,
+    cache_key_extra: tuple = (),
+) -> RunResult:
+    """Simulate one preset configuration under one workload.
+
+    ``workload_factory(config, num_nodes)`` builds the workload; its
+    ``params.<units_attr>`` gives the measured units per CPU.
+    """
+    return run_configured(
+        preset(config_name), workload_factory, num_nodes=num_nodes,
+        units_attr=units_attr, check_coherence=check_coherence,
+        cache_key_extra=cache_key_extra,
+    )

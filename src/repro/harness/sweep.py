@@ -7,67 +7,110 @@ keep-open sweeps, reusable for ad-hoc studies::
 
     from repro.harness.sweep import sweep_field
     results = sweep_field("P8", oltp_factory, "l2.size_bytes",
-                          [512 << 10, 1 << 20, 2 << 20])
+                          [512 << 10, 1 << 20, 2 << 20], jobs=4)
+
+Sweep points are independent simulations, so they parallelise across
+processes: pass ``jobs=N`` (or set ``REPRO_JOBS``) to fan out via
+:mod:`repro.harness.parallel`.  Metric assembly is shared with
+:func:`repro.harness.runner.simulate` — the serial, parallel and cached
+paths all produce identical records.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.config import ChipConfig, preset
-from ..core.system import PiranhaSystem
+from .parallel import Job, run_jobs
+from .runner import RunResult, run_configured
 
 
 def replace_field(config: ChipConfig, dotted: str, value) -> ChipConfig:
     """Return a config with ``dotted`` (e.g. ``"l2.size_bytes"`` or
     ``"core.clock_mhz"``) replaced by *value*."""
     parts = dotted.split(".")
+    if len(parts) > 2:
+        raise ValueError(f"at most one level of nesting supported: {dotted!r}")
+    if not all(parts):
+        raise ValueError(f"empty component in field path: {dotted!r}")
     if len(parts) == 1:
+        if parts[0] not in {f.name for f in dataclasses.fields(config)}:
+            raise ValueError(
+                f"unknown config field {parts[0]!r}; available: "
+                f"{sorted(f.name for f in dataclasses.fields(config))}")
         return dataclasses.replace(config, **{parts[0]: value})
-    if len(parts) == 2:
-        sub = getattr(config, parts[0])
-        new_sub = dataclasses.replace(sub, **{parts[1]: value})
-        return dataclasses.replace(config, **{parts[0]: new_sub})
-    raise ValueError(f"at most one level of nesting supported: {dotted!r}")
+    group, leaf = parts
+    sub = getattr(config, group, None)
+    if sub is None or not dataclasses.is_dataclass(sub):
+        raise ValueError(f"unknown config group {group!r} in {dotted!r}")
+    if leaf not in {f.name for f in dataclasses.fields(sub)}:
+        raise ValueError(
+            f"unknown field {leaf!r} in config group {group!r}; available: "
+            f"{sorted(f.name for f in dataclasses.fields(sub))}")
+    new_sub = dataclasses.replace(sub, **{leaf: value})
+    return dataclasses.replace(config, **{group: new_sub})
+
+
+def record_from_result(result: RunResult) -> Dict:
+    """Flatten a RunResult into the sweep's metrics-dict shape."""
+    return {
+        "config": result.config,
+        "time_per_unit_ns": result.time_per_unit_ns,
+        "throughput": result.throughput,
+        "busy_frac": result.busy_frac,
+        "l2_frac": result.l2_frac,
+        "mem_frac": result.mem_frac,
+        "miss_hit_frac": result.miss_hit_frac,
+        "miss_fwd_frac": result.miss_fwd_frac,
+        "miss_mem_frac": result.miss_mem_frac,
+    }
 
 
 def run_config(config: ChipConfig, workload_factory: Callable,
                num_nodes: int = 1, units_attr: str = "transactions") -> Dict:
-    """Simulate one configuration; returns a metrics dict."""
-    system = PiranhaSystem(config, num_nodes=num_nodes)
-    workload = workload_factory(config, num_nodes)
-    system.attach_workload(workload)
-    system.run_to_completion()
-    units = getattr(workload.params, units_attr)
-    per_cpu_ps = max(cpu.total_ps for cpu in system.all_cpus())
-    summary = system.execution_summary()
-    total = summary["total_ps"] or 1
-    mb = system.miss_breakdown()
-    misses = sum(mb.values()) or 1
-    return {
-        "config": config.name,
-        "time_per_unit_ns": per_cpu_ps / units / 1000.0,
-        "throughput": config.cpus * num_nodes * 1e12 / (per_cpu_ps / units),
-        "busy_frac": summary["busy_ps"] / total,
-        "l2_frac": summary["l2_stall_ps"] / total,
-        "mem_frac": summary["mem_stall_ps"] / total,
-        "miss_mem_frac": mb["l2_miss"] / misses,
-    }
+    """Simulate one configuration; returns a metrics dict.
+
+    Delegates to :func:`repro.harness.runner.run_configured`, the single
+    shared measurement implementation (metric assembly used to be
+    duplicated here and could drift from the runner's)."""
+    return record_from_result(
+        run_configured(config, workload_factory, num_nodes=num_nodes,
+                       units_attr=units_attr))
 
 
-def sweep_field(base: str, workload_factory: Callable, dotted: str,
-                values: Sequence, num_nodes: int = 1,
-                units_attr: str = "transactions") -> List[Dict]:
-    """Sweep one config field over *values*; returns one record per point
-    (with the swept value under ``"value"``)."""
-    base_config = preset(base) if isinstance(base, str) else base
+def sweep_configs(base: ChipConfig, dotted: str,
+                  values: Sequence) -> List[ChipConfig]:
+    """Materialise the derived configuration for each swept value."""
     out = []
     for value in values:
-        config = replace_field(base_config, dotted, value)
-        config = dataclasses.replace(config,
-                                     name=f"{base_config.name}[{dotted}={value}]")
-        record = run_config(config, workload_factory, num_nodes, units_attr)
+        config = replace_field(base, dotted, value)
+        out.append(dataclasses.replace(
+            config, name=f"{base.name}[{dotted}={value}]"))
+    return out
+
+
+def sweep_field(base, workload_factory: Callable, dotted: str,
+                values: Sequence, num_nodes: int = 1,
+                units_attr: str = "transactions",
+                jobs: Optional[int] = None) -> List[Dict]:
+    """Sweep one config field over *values*; returns one record per point
+    (with the swept value under ``"value"``).
+
+    ``jobs`` (default: the ``REPRO_JOBS`` environment variable, else 1)
+    fans the points out across worker processes; records are identical to
+    a serial sweep regardless of the worker count.
+    """
+    base_config = preset(base) if isinstance(base, str) else base
+    configs = sweep_configs(base_config, dotted, values)
+    results = run_jobs(
+        [Job(config=c, factory=workload_factory, num_nodes=num_nodes,
+             units_attr=units_attr) for c in configs],
+        jobs=jobs,
+    )
+    out = []
+    for value, result in zip(values, results):
+        record = record_from_result(result)
         record["value"] = value
         out.append(record)
     return out

@@ -10,6 +10,20 @@ ordering deterministic and reproducible across platforms.
 The engine is deliberately minimal: modules interact by scheduling plain
 callbacks.  Higher-level abstractions (transactional ports, pipelined
 resources) live in :mod:`repro.sim.ports`.
+
+``schedule`` and ``run`` are the two hottest functions in the whole
+library (every simulated L1 miss, DRAM access and CPU batch goes through
+both), so they trade a little repetition for flat, single-frame code
+paths: ``run`` pops the heap directly instead of delegating to
+:meth:`Simulator.step`, and ``schedule`` builds the heap entry inline
+instead of delegating to :meth:`Simulator.schedule_at`.
+
+Cancellation is lazy: :meth:`EventHandle.cancel` only flags the handle,
+and the dead heap entry is discarded when it surfaces.  The simulator
+keeps an exact count of dead entries so :attr:`Simulator.pending` reports
+live events only, and compacts the heap when dead entries outnumber live
+ones, so long-lived simulations that cancel heavily (timeout patterns)
+don't accumulate an ever-growing queue.
 """
 
 from __future__ import annotations
@@ -60,17 +74,31 @@ class Clock:
 class EventHandle:
     """Handle returned by :meth:`Simulator.schedule`; supports cancellation."""
 
-    __slots__ = ("time", "fn", "args", "cancelled")
+    __slots__ = ("time", "fn", "args", "cancelled", "sim")
 
-    def __init__(self, time: int, fn: Callable[..., Any], args: tuple) -> None:
+    def __init__(self, time: int, fn: Callable[..., Any], args: tuple,
+                 sim: Optional["Simulator"] = None) -> None:
         self.time = time
         self.fn = fn
         self.args = args
         self.cancelled = False
+        #: owning simulator while the event is pending; cleared when the
+        #: event fires so a late ``cancel()`` cannot corrupt the
+        #: simulator's dead-entry accounting.
+        self.sim = sim
 
     def cancel(self) -> None:
-        """Cancel the event; a cancelled event is skipped when it fires."""
+        """Cancel the event; a cancelled event is skipped when it fires.
+
+        Cancelling an event that already fired (or cancelling twice) is a
+        harmless no-op.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self.sim
+        if sim is not None:
+            sim._note_cancelled()
 
 
 class Simulator:
@@ -81,11 +109,18 @@ class Simulator:
     switch guarantees in hardware.
     """
 
+    #: minimum number of dead (cancelled-but-queued) entries before the
+    #: heap is considered for compaction; below this, scanning the heap
+    #: costs more than lazily discarding the entries.
+    COMPACT_MIN_DEAD = 64
+
     def __init__(self) -> None:
         self.now: int = 0
         self._queue: List[tuple] = []
         self._seq: int = 0
         self._events_fired: int = 0
+        self._dead: int = 0              # cancelled entries still queued
+        self._events_cancelled: int = 0  # cumulative cancel() count
 
     # -- scheduling ------------------------------------------------------
 
@@ -93,7 +128,11 @@ class Simulator:
         """Schedule ``fn(*args)`` to run ``delay_ps`` picoseconds from now."""
         if delay_ps < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay_ps})")
-        return self.schedule_at(self.now + delay_ps, fn, *args)
+        time_ps = self.now + delay_ps
+        handle = EventHandle(time_ps, fn, args, self)
+        heapq.heappush(self._queue, (time_ps, self._seq, handle))
+        self._seq += 1
+        return handle
 
     def schedule_at(self, time_ps: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` at absolute time ``time_ps``."""
@@ -101,19 +140,42 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule into the past (t={time_ps}, now={self.now})"
             )
-        handle = EventHandle(time_ps, fn, args)
+        handle = EventHandle(time_ps, fn, args, self)
         heapq.heappush(self._queue, (time_ps, self._seq, handle))
         self._seq += 1
         return handle
+
+    # -- cancellation bookkeeping ---------------------------------------
+
+    def _note_cancelled(self) -> None:
+        """Record one cancellation; compact the heap when dead entries
+        outnumber live ones."""
+        self._events_cancelled += 1
+        self._dead += 1
+        if self._dead >= self.COMPACT_MIN_DEAD and self._dead * 2 >= len(self._queue):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify.
+
+        ``(time, seq)`` keys are unique, so heapify preserves the exact
+        FIFO-within-timestamp firing order.
+        """
+        self._queue = [e for e in self._queue if not e[2].cancelled]
+        heapq.heapify(self._queue)
+        self._dead = 0
 
     # -- execution -------------------------------------------------------
 
     def step(self) -> bool:
         """Fire the next event.  Returns False when the queue is empty."""
-        while self._queue:
-            time_ps, _seq, handle = heapq.heappop(self._queue)
+        q = self._queue
+        while q:
+            time_ps, _seq, handle = heapq.heappop(q)
             if handle.cancelled:
+                self._dead -= 1
                 continue
+            handle.sim = None
             self.now = time_ps
             self._events_fired += 1
             handle.fn(*handle.args)
@@ -123,27 +185,70 @@ class Simulator:
     def run(self, until_ps: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Run events until the queue drains, *until_ps* passes, or
         *max_events* fire.  Returns the number of events fired."""
+        q = self._queue
+        pop = heapq.heappop
         fired = 0
-        while self._queue:
-            time_ps = self._queue[0][0]
-            if until_ps is not None and time_ps > until_ps:
+        if until_ps is None and max_events is None:
+            # Hot path: run-to-drain (what every workload simulation uses).
+            # No bound checks, locals bound outside the loop.
+            while q:
+                time_ps, _seq, handle = pop(q)
+                if handle.cancelled:
+                    self._dead -= 1
+                    continue
+                handle.sim = None
+                self.now = time_ps
+                self._events_fired += 1
+                handle.fn(*handle.args)
+                fired += 1
+            return fired
+        # Bounded path.  The until_ps check only needs the head timestamp;
+        # once an event at time T is admitted, every other event at exactly
+        # T is admissible too, so the inner loop drains the whole timestamp
+        # batch without re-checking the bound.
+        while q:
+            head_ps = q[0][0]
+            if until_ps is not None and head_ps > until_ps:
                 self.now = until_ps
                 break
             if max_events is not None and fired >= max_events:
                 break
-            if self.step():
+            time_ps, _seq, handle = pop(q)
+            if handle.cancelled:
+                self._dead -= 1
+                continue
+            handle.sim = None
+            self.now = time_ps
+            self._events_fired += 1
+            handle.fn(*handle.args)
+            fired += 1
+            while q and q[0][0] == time_ps:
+                if max_events is not None and fired >= max_events:
+                    break
+                _t, _s, h = pop(q)
+                if h.cancelled:
+                    self._dead -= 1
+                    continue
+                h.sim = None
+                self._events_fired += 1
+                h.fn(*h.args)
                 fired += 1
         return fired
 
     @property
     def pending(self) -> int:
-        """Number of events currently queued (including cancelled ones)."""
-        return len(self._queue)
+        """Number of live (non-cancelled) events currently queued."""
+        return len(self._queue) - self._dead
 
     @property
     def events_fired(self) -> int:
         """Total number of events executed so far."""
         return self._events_fired
+
+    @property
+    def events_cancelled(self) -> int:
+        """Total number of events cancelled so far."""
+        return self._events_cancelled
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Simulator(now={self.now} ps, pending={self.pending})"
@@ -156,6 +261,11 @@ class Component:
     and a stats group.  Matches the paper's strict hierarchical
     decomposition: modules communicate exclusively through explicit
     interfaces, never by reaching into each other's internals.
+
+    ``self.schedule`` is bound directly to :meth:`Simulator.schedule` (an
+    instance attribute, not a wrapper method): every simulated event is
+    scheduled through it, and the extra delegating frame showed up as
+    measurable overhead in profiles.
     """
 
     def __init__(self, sim: Simulator, name: str) -> None:
@@ -164,10 +274,7 @@ class Component:
         self.sim = sim
         self.name = name
         self.stats = StatGroup(name)
-
-    def schedule(self, delay_ps: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
-        """Convenience wrapper around :meth:`Simulator.schedule`."""
-        return self.sim.schedule(delay_ps, fn, *args)
+        self.schedule: Callable[..., EventHandle] = sim.schedule
 
     @property
     def now(self) -> int:

@@ -1,0 +1,252 @@
+"""Tests for the parallel experiment harness and the result caches.
+
+Covers the PR's acceptance criteria:
+
+* a multi-point sweep run with ``jobs=4`` produces records identical to
+  the serial sweep (determinism across the process-pool boundary),
+* the disk cache serves repeat points bit-for-bit and invalidates when
+  the configuration changes,
+* the in-process memo is inspectable and disableable via
+  ``REPRO_NO_CACHE=1``, with hit/miss telemetry in ``RunResult.extras``,
+* ``replace_field`` rejects malformed / unknown field paths.
+"""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.core import preset
+from repro.harness import (
+    DiskCache,
+    Job,
+    MigratoryFactory,
+    OltpFactory,
+    clear_cache,
+    memo_cache_info,
+    resolve_jobs,
+    run_jobs,
+    run_workload,
+)
+from repro.harness.cache import result_key, workload_token
+from repro.harness.runner import DISK_CACHE, run_configured, simulate
+from repro.harness.sweep import replace_field, sweep_field
+from repro.workloads import MicroParams, OltpParams
+
+TINY_OLTP = OltpParams(transactions=6, warmup_transactions=8)
+TINY_MICRO = MicroParams(iterations=120, warmup=30)
+
+
+@pytest.fixture(autouse=True)
+def isolated_caches(tmp_path, monkeypatch):
+    """Every test gets an empty memo and a private disk-cache directory."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def micro_jobs(n=4):
+    values = [(128 + 64 * i) << 10 for i in range(n)]
+    base = preset("P2")
+    return [
+        Job(config=dataclasses.replace(
+                replace_field(base, "l2.size_bytes", v),
+                name=f"P2[l2={v}]"),
+            factory=MigratoryFactory(TINY_MICRO),
+            units_attr="iterations")
+        for v in values
+    ]
+
+
+class TestParallelEquivalence:
+    def test_parallel_sweep_matches_serial(self):
+        """Acceptance: jobs=4 sweep identical to the serial records."""
+        values = [(128 + 64 * i) << 10 for i in range(6)]
+        factory = MigratoryFactory(TINY_MICRO)
+
+        os.environ["REPRO_NO_CACHE"] = "1"  # force both runs to simulate
+        try:
+            serial = sweep_field("P2", factory, "l2.size_bytes", values,
+                                 units_attr="iterations", jobs=1)
+            parallel = sweep_field("P2", factory, "l2.size_bytes", values,
+                                   units_attr="iterations", jobs=4)
+        finally:
+            del os.environ["REPRO_NO_CACHE"]
+        assert parallel == serial
+
+    def test_run_jobs_preserves_input_order(self):
+        jobs = micro_jobs(4)
+        results = run_jobs(jobs, jobs=4)
+        assert [r.config for r in results] == [j.config.name for j in jobs]
+
+    def test_parallel_payload_matches_direct_simulate(self):
+        job = micro_jobs(1)[0]
+        direct = simulate(job.config, job.factory,
+                          units_attr=job.units_attr)
+        # single-point lists run serially; use a 2-point pool so the
+        # first result genuinely crossed the process boundary
+        pooled, _ = run_jobs(micro_jobs(2), jobs=2)
+        assert pooled.payload_tuple() == direct.payload_tuple()
+
+    def test_unpicklable_factory_falls_back_to_serial(self):
+        params = TINY_MICRO
+
+        def closure_factory(config, num_nodes):  # not picklable
+            from repro.workloads import MigratoryWrites
+            return MigratoryWrites(params, cpus_per_node=config.cpus,
+                                   num_nodes=num_nodes)
+
+        base = micro_jobs(2)
+        jobs = [dataclasses.replace(base[0], factory=closure_factory),
+                dataclasses.replace(base[1], factory=closure_factory)]
+        results = run_jobs(jobs, jobs=4)
+        reference = run_jobs(micro_jobs(2), jobs=1)
+        assert [r.payload_tuple() for r in results] == \
+               [r.payload_tuple() for r in reference]
+
+    def test_resolve_jobs(self, monkeypatch):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(None) == 1
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs(None) == 5
+        monkeypatch.setenv("REPRO_JOBS", "junk")
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+
+class TestDiskCache:
+    def test_hit_serves_identical_payload(self):
+        job = micro_jobs(1)[0]
+        first = run_configured(job.config, job.factory,
+                               units_attr=job.units_attr)
+        clear_cache()  # drop the memo: the next lookup must hit the disk
+        hits_before = DISK_CACHE.hits
+        second = run_configured(job.config, job.factory,
+                                units_attr=job.units_attr)
+        assert DISK_CACHE.hits == hits_before + 1
+        assert second.payload_tuple() == first.payload_tuple()
+
+    def test_config_change_invalidates(self):
+        jobs = micro_jobs(2)  # two points differing only in L2 size
+        key_a = result_key(jobs[0].config, jobs[0].factory, 1,
+                           jobs[0].units_attr, False, ())
+        key_b = result_key(jobs[1].config, jobs[1].factory, 1,
+                           jobs[1].units_attr, False, ())
+        assert key_a != key_b
+        run_configured(jobs[0].config, jobs[0].factory,
+                       units_attr=jobs[0].units_attr)
+        clear_cache()
+        hits_before = DISK_CACHE.hits
+        run_configured(jobs[1].config, jobs[1].factory,
+                       units_attr=jobs[1].units_attr)
+        assert DISK_CACHE.hits == hits_before  # different point: no hit
+
+    def test_scale_env_part_of_key(self, monkeypatch):
+        job = micro_jobs(1)[0]
+        monkeypatch.setenv("REPRO_SCALE", "1.0")
+        key_full = result_key(job.config, job.factory, 1, job.units_attr,
+                              False, ())
+        monkeypatch.setenv("REPRO_SCALE", "0.25")
+        key_quarter = result_key(job.config, job.factory, 1, job.units_attr,
+                                 False, ())
+        assert key_full != key_quarter
+
+    def test_opaque_factory_not_disk_keyable(self):
+        assert workload_token(lambda c, n: None) is None
+        job = micro_jobs(1)[0]
+        assert result_key(job.config, lambda c, n: None, 1,
+                          job.units_attr, False, ()) is None
+
+    def test_torn_entry_is_a_miss(self, tmp_path):
+        cache = DiskCache(str(tmp_path / "torn"))
+        job = micro_jobs(1)[0]
+        key = result_key(job.config, job.factory, 1, job.units_attr,
+                         False, ())
+        result = simulate(job.config, job.factory, units_attr=job.units_attr)
+        cache.put(key, result)
+        target = cache._file(key)
+        with open(target, "w", encoding="utf-8") as f:
+            f.write('{"result": {"config"')  # truncated JSON
+        assert cache.get(key) is None
+
+    def test_info_and_clear(self):
+        job = micro_jobs(1)[0]
+        run_configured(job.config, job.factory, units_attr=job.units_attr)
+        info = DISK_CACHE.info()
+        assert info["entries"] == 1
+        assert info["bytes"] > 0
+        assert DISK_CACHE.clear() == 1
+        assert DISK_CACHE.info()["entries"] == 0
+
+
+class TestMemoCache:
+    def test_memo_inspectable_and_counts_hits(self):
+        job = micro_jobs(1)[0]
+        before = memo_cache_info()
+        run_configured(job.config, job.factory, units_attr=job.units_attr)
+        result = run_configured(job.config, job.factory,
+                                units_attr=job.units_attr)
+        info = memo_cache_info()
+        assert info["entries"] == before["entries"] + 1
+        assert info["hits"] > before["hits"]
+        assert len(info["keys"]) == info["entries"]
+        assert result.extras["cache_memo_hits"] == float(info["hits"])
+        assert "cache_memo_misses" in result.extras
+        assert "cache_disk_hits" in result.extras
+
+    def test_no_cache_env_disables_everything(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        job = micro_jobs(1)[0]
+        entries_before = memo_cache_info()["entries"]
+        a = run_configured(job.config, job.factory, units_attr=job.units_attr)
+        b = run_configured(job.config, job.factory, units_attr=job.units_attr)
+        assert memo_cache_info()["entries"] == entries_before
+        assert DISK_CACHE.info()["entries"] == 0
+        # ... but determinism still holds without the caches
+        assert a.payload_tuple() == b.payload_tuple()
+
+    def test_run_workload_legacy_entry_point_memoises(self):
+        result = run_workload("P1", MigratoryFactory(TINY_MICRO),
+                              units_attr="iterations",
+                              cache_key_extra=("legacy",))
+        again = run_workload("P1", MigratoryFactory(TINY_MICRO),
+                             units_attr="iterations",
+                             cache_key_extra=("legacy",))
+        assert again.payload_tuple() == result.payload_tuple()
+        assert result.config == "P1"
+
+
+class TestReplaceFieldErrors:
+    def test_deep_nesting_rejected(self):
+        with pytest.raises(ValueError, match="one level"):
+            replace_field(preset("P8"), "l2.bank.size", 1)
+
+    def test_empty_component_rejected(self):
+        for bad in ("", ".", "l2.", ".size_bytes"):
+            with pytest.raises(ValueError):
+                replace_field(preset("P8"), bad, 1)
+
+    def test_unknown_top_level_field(self):
+        with pytest.raises(ValueError, match="unknown config field"):
+            replace_field(preset("P8"), "no_such_field", 1)
+
+    def test_unknown_group(self):
+        with pytest.raises(ValueError, match="unknown config group"):
+            replace_field(preset("P8"), "no_group.size_bytes", 1)
+
+    def test_non_dataclass_group(self):
+        with pytest.raises(ValueError, match="unknown config group"):
+            replace_field(preset("P8"), "name.size_bytes", 1)
+
+    def test_unknown_leaf_lists_alternatives(self):
+        with pytest.raises(ValueError, match="size_bytes"):
+            replace_field(preset("P8"), "l2.no_leaf", 1)
+
+    def test_valid_replacements_still_work(self):
+        config = replace_field(preset("P8"), "l2.size_bytes", 2 << 20)
+        assert config.l2.size_bytes == 2 << 20
+        config = replace_field(preset("P8"), "cpus", 4)
+        assert config.cpus == 4
