@@ -60,21 +60,38 @@ def _scaled_oltp(scale: float) -> OltpParams:
     )
 
 
-def cmd_run(args: argparse.Namespace) -> int:
-    """``run``: simulate one workload on one configuration."""
+def _build_checked_system(args: argparse.Namespace):
+    """Shared ``run``/``trace`` setup: system + workload, with the
+    sanitizer and/or trace attached per the flags."""
     config = preset(args.config)
-    checker = CoherenceChecker() if args.check else None
+    check = getattr(args, "check", False)
+    trace_cap = getattr(args, "trace", 0) or 0
+    checker = None
+    if check or trace_cap:
+        checker = (CoherenceChecker.with_trace(trace_cap) if trace_cap
+                   else CoherenceChecker())
     system = PiranhaSystem(config, num_nodes=args.nodes, checker=checker)
     workload = WORKLOADS[args.workload](config.cpus, args.nodes, args.scale)
     system.attach_workload(workload)
+    if check:
+        system.enable_continuous_audit()
+    return config, system, checker
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """``run``: simulate one workload on one configuration."""
+    config, system, checker = _build_checked_system(args)
     print(f"simulating {args.workload} on {args.nodes} x {config.name} "
           f"({config.cpus * args.nodes} CPUs) ...")
     finish = system.run_to_completion()
     if checker is not None:
-        checker.verify_quiesced()
-        for node in system.nodes:
-            node.audit_duplicate_tags()
-        print("coherence checker + duplicate-tag audit: OK")
+        telemetry = system.verify()
+        audits = int(telemetry.get("audit_continuous_runs", 0))
+        print(f"protocol sanitizer audit: OK "
+              f"({audits} continuous audits, "
+              f"{int(telemetry.get('audit_tsrf_entries', 0))} TSRF entries, "
+              f"{int(telemetry.get('audit_dir_holdings', 0))} directory "
+              f"holdings verified)")
     summary = system.execution_summary()
     total = summary["total_ps"] or 1
     print(f"\nsimulated time : {finish / 1e6:.1f} us")
@@ -93,6 +110,25 @@ def cmd_run(args: argparse.Namespace) -> int:
 
         print()
         print(render_report(system_report(system)))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``trace``: run a workload with the protocol trace recording and
+    dump the (filtered) tail of the ring buffer."""
+    config, system, checker = _build_checked_system(args)
+    print(f"tracing {args.workload} on {args.nodes} x {config.name} "
+          f"(ring capacity {checker.trace.capacity}) ...", file=sys.stderr)
+    system.run_to_completion()
+    if args.check:
+        system.verify()
+        print("protocol sanitizer audit: OK", file=sys.stderr)
+    trace = checker.trace
+    line = int(args.line, 0) if args.line is not None else None
+    print(trace.dump(line=line, node=args.node, last=args.last))
+    counts = trace.summary()
+    print("\nevent totals: " + ", ".join(
+        f"{k}={counts[k]}" for k in sorted(counts)))
     return 0
 
 
@@ -210,10 +246,36 @@ def main(argv=None) -> int:
     run_p.add_argument("--scale", type=float, default=1.0,
                        help="workload size multiplier")
     run_p.add_argument("--check", action="store_true",
-                       help="run with the coherence checker")
+                       help="run with the protocol sanitizer (continuous "
+                            "audits + full quiesce audit)")
+    run_p.add_argument("--trace", type=int, nargs="?", const=512, default=0,
+                       metavar="N",
+                       help="record the last N protocol events (default "
+                            "512); violations dump the per-line history")
     run_p.add_argument("--report", action="store_true",
                        help="print the full per-module performance report")
     run_p.set_defaults(fn=cmd_run)
+
+    trace_p = sub.add_parser(
+        "trace", help="run a workload with the protocol trace and dump it")
+    trace_p.add_argument("--config", default="P8", choices=sorted(PRESETS))
+    trace_p.add_argument("--workload", default="migratory",
+                         choices=sorted(WORKLOADS))
+    trace_p.add_argument("--nodes", type=int, default=1)
+    trace_p.add_argument("--scale", type=float, default=0.25,
+                         help="workload size multiplier")
+    trace_p.add_argument("--trace", type=int, nargs="?", const=4096,
+                         default=4096, metavar="N",
+                         help="ring capacity (default 4096)")
+    trace_p.add_argument("--check", action="store_true",
+                         help="also run the protocol sanitizer")
+    trace_p.add_argument("--line", default=None,
+                         help="only events for this line address (hex ok)")
+    trace_p.add_argument("--node", type=int, default=None,
+                         help="only events from this node")
+    trace_p.add_argument("--last", type=int, default=32,
+                         help="how many trailing events to print")
+    trace_p.set_defaults(fn=cmd_trace)
 
     sweep_p = sub.add_parser(
         "sweep", help="sweep one config field over a set of values")

@@ -1,6 +1,14 @@
 """The Piranha chip: CPUs, cache hierarchy, protocol engines, system glue."""
 
-from .checker import CoherenceChecker, CoherenceViolation
+from .checker import (
+    CoherenceChecker,
+    CoherenceViolation,
+    audit_directory,
+    audit_duplicate_tags,
+    audit_non_inclusion,
+    audit_system,
+    audit_tsrf,
+)
 from .chip import PiranhaChip
 from .config import (
     INO,
@@ -49,12 +57,20 @@ from .ras import MemoryMirror, PersistentMemory, ProtocolWatchdog
 from .rdram import MemoryController, RdramChannel
 from .syscontrol import SystemControl
 from .tlb import Tlb
+from .trace import ProtocolTrace, TraceEvent
 from .system import PiranhaSystem, default_topology
 from .tsrf import TSRF_ENTRIES, Tsrf, TsrfEntry, TsrfFullError
 
 __all__ = [
     "CoherenceChecker",
     "CoherenceViolation",
+    "ProtocolTrace",
+    "TraceEvent",
+    "audit_directory",
+    "audit_duplicate_tags",
+    "audit_non_inclusion",
+    "audit_system",
+    "audit_tsrf",
     "PiranhaChip",
     "PiranhaSystem",
     "default_topology",

@@ -75,6 +75,11 @@ class PiranhaChip(Component):
         self.syscontrol = SystemControl(sim, f"{self.name}.sc", self)
 
         self.t_l1_detect = ns(config.lat.l1_miss_detect)
+        #: sanitizer trace (shared with the system's checker, if any):
+        #: cached here so the packet / engine hot paths pay one attribute
+        #: test instead of two when tracing is off
+        checker = system.checker
+        self.trace = checker.trace if checker is not None else None
         self._send_packet_fn: Optional[Callable[[Packet], bool]] = None
         self._cpus_running = 0
         self.c_packets_sent = self.stats.counter("packets_sent")
@@ -222,6 +227,9 @@ class PiranhaChip(Component):
                 f"system (no network attached)"
             )
         self.c_packets_sent.inc()
+        if self.trace is not None:
+            self.trace.record("pkt_send", self.node_id, line_addr(pkt.addr),
+                              f"{pkt.ptype.name} -> node{pkt.dst}")
         if not self._send_packet_fn(pkt):
             # OQ full: retry after a cycle (the paper's flow control).
             self.schedule(2000, self.send_packet, pkt)
@@ -229,6 +237,9 @@ class PiranhaChip(Component):
 
     def deliver_packet(self, pkt: Packet) -> bool:
         """IQ disposition target: steer by packet type (Section 2.6.2)."""
+        if self.trace is not None:
+            self.trace.record("pkt_recv", self.node_id, line_addr(pkt.addr),
+                              f"{pkt.ptype.name} <- node{pkt.src}")
         if pkt.ptype in REPLY_TYPES:
             return self._route_reply(pkt)
         if pkt.ptype in (
@@ -304,15 +315,9 @@ class PiranhaChip(Component):
             for is_instr in (False, True):
                 cache_id = CacheId.encode(cpu, is_instr)
                 l1 = self.l1_of(cpu, is_instr)
-                actual[cache_id] = {
-                    (line.tag << 6): line
-                    for s in l1.sets for line in s.values()
-                }
+                actual[cache_id] = dict(l1.iter_lines())
         for cache_id, cache in self.extra_caches.items():
-            actual[cache_id] = {
-                (line.tag << 6): line
-                for s in cache.sets for line in s.values()
-            }
+            actual[cache_id] = dict(cache.iter_lines())
         for bank in self.banks:
             for line_addr_, entry in bank.dup.entries.items():
                 for sharer in entry.sharers:

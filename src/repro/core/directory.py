@@ -176,6 +176,18 @@ class DirectoryStore:
         else:
             self._bits[line] = encode(entry, self.num_nodes)
 
+    def items(self):
+        """Iterate ``(line, DirectoryEntry)`` over every non-UNCACHED line
+        (decoded through the 44-bit codec; used by the protocol
+        sanitizer's cross-consistency audit).  Does not bump ``reads`` —
+        auditing must not perturb the access statistics it audits."""
+        for line, bits in self._bits.items():
+            yield line, decode(bits, self.num_nodes)
+
+    def tracked_lines(self) -> int:
+        """Number of lines with a non-UNCACHED directory entry."""
+        return len(self._bits)
+
 
 def ecc_accounting(line_bytes: int = 64) -> Dict[str, int]:
     """Reproduce the ECC-widening arithmetic of Section 2.5.2.

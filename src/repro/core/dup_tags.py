@@ -107,6 +107,28 @@ class DuplicateTags:
         L2 copy gone)."""
         self.entries.pop(line, None)
 
+    def audit_owner_sanity(self, l2_resident) -> list:
+        """Structural ownership check for the protocol sanitizer.
+
+        Returns ``[(line, why), ...]`` for every entry whose ownership is
+        inconsistent: an owner that is neither the L2 nor a recorded
+        sharer, or an L2-owner claim for a line the L2 does not hold
+        (*l2_resident* is the set of L2-resident line addresses).
+        """
+        problems = []
+        for line, e in self.entries.items():
+            if e.owner is None:
+                continue
+            if e.owner == L2_OWNER:
+                if line not in l2_resident:
+                    problems.append(
+                        (line, "owner is the L2 but the L2 holds no copy"))
+            elif e.owner not in e.sharers:
+                problems.append(
+                    (line, f"owner cache {e.owner} is not a sharer "
+                           f"({sorted(e.sharers)})"))
+        return problems
+
     def promote_any_owner(self, line: int) -> Optional[int]:
         """When the owner L1 leaves and other sharers remain, hand
         ownership to one of the remaining sharers (the hardware keeps the

@@ -188,6 +188,13 @@ class L1Cache:
 
     # -- stats -----------------------------------------------------------
 
+    def iter_lines(self):
+        """Iterate ``(line_addr, L1Line)`` over every resident line (no
+        LRU side effects; used by the duplicate-tag mirror audit)."""
+        for lru_set in self.sets:
+            for line in lru_set.values():
+                yield line.tag << LINE_SHIFT, line
+
     @property
     def hit_rate(self) -> float:
         return self.n_hits / self.n_lookups if self.n_lookups else 0.0

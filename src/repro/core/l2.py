@@ -108,6 +108,16 @@ class L2Bank(Component):
         self.wb_buffer: Dict[int, int] = {}
         #: lines whose pending entry is held by a home-engine transaction
         self._engine_holds: Set[int] = set()
+        #: home-side lines whose freshest data is in flight (a sharing
+        #: write-back from the old owner): the pending hold must not be
+        #: released until the write-back lands, or a subsequent request
+        #: would be served from the stale memory image
+        self._sharing_wb_due: Set[int] = set()
+        #: home-side lines with an eager local exclusive grant whose
+        #: background invalidation campaign has not written the directory
+        #: yet: a grant interleaved before that write would be clobbered
+        #: by the campaign's stale directory update
+        self._local_inval_due: Set[int] = set()
         #: partial directory interpretation (Section 2.3):
         #: - our privilege on cached remote-home lines ('S' or 'E')
         self.our_mode: Dict[int, str] = {}
@@ -360,6 +370,11 @@ class L2Bank(Component):
                 return
             self.c_local_mem.inc()
             needs_invals = direntry.state in (DirState.SHARED, DirState.SHARED_COARSE)
+            if needs_invals:
+                # The background campaign below must write the directory
+                # before any other home-side transaction for the line runs
+                # (its sharer snapshot is only valid under serialisation).
+                self._local_inval_due.add(line)
             self._fill(req, line, MESI.MODIFIED, owner=True,
                        version=version + 1, dirty=True,
                        source=ReplySource.LOCAL_MEM)
@@ -431,6 +446,11 @@ class L2Bank(Component):
                 src = (ReplySource.REMOTE_DIRTY if three_hop
                        else ReplySource.REMOTE_MEM)
                 (self.c_remote_dirty if three_hop else self.c_remote_mem).inc()
+                if reqtype == RequestType.EXCLUSIVE:
+                    # An upgrade grant carries no data: the write builds on
+                    # our own cached copy, which may be fresher than the
+                    # home's version token.
+                    version = max(version, self._onchip_version(line))
                 self._fill(req, line, MESI.MODIFIED, owner=True,
                            version=version + 1, dirty=True, source=src)
 
@@ -462,6 +482,13 @@ class L2Bank(Component):
         if line not in self.remote_cached:
             return
         self.remote_cached.discard(line)
+        # Hold the line at the home until the campaign's directory write:
+        # an interleaved grant would otherwise be clobbered by it.  The
+        # grant's own pending entry has already resolved, so re-create one
+        # to carry the hold.
+        self._local_inval_due.add(line)
+        if line not in self.pending:
+            self.pending[line] = PendingEntry(line)
         self.chip.home_engine.deliver_local(
             "NEW_LOCAL_INVAL", line,
             req_node=self.chip.node_id, is_local=True,
@@ -507,6 +534,13 @@ class L2Bank(Component):
         self._resolve_pending(line)
 
     def _resolve_pending(self, line: int) -> None:
+        if line in self._sharing_wb_due or line in self._local_inval_due:
+            # The old owner's sharing write-back has not reached the home
+            # yet (memory and the inval epoch derived from it are stale),
+            # or an eager local grant's invalidation campaign has not
+            # written the directory yet: the line stays serialised until
+            # the home's view is consistent again.
+            return
         entry = self.pending.pop(line, None)
         self._engine_holds.discard(line)
         if entry is None:
@@ -845,10 +879,42 @@ class L2Bank(Component):
         if line in self._engine_holds:
             self._resolve_pending(line)
 
+    def expect_sharing_wb(self, line: int) -> None:
+        """The home engine forwarded a dirty read: the owner will downgrade
+        and send the data home as a sharing write-back.  Until it arrives
+        the memory image is stale, so the line's serialisation hold
+        persists (see :meth:`_resolve_pending`)."""
+        self._sharing_wb_due.add(line)
+
+    def sharing_wb_arrived(self, line: int) -> None:
+        """The sharing write-back landed (memory is fresh again): release
+        the serialisation hold and wake anything queued behind it."""
+        self._sharing_wb_due.discard(line)
+        if line in self.pending:
+            self._resolve_pending(line)
+
+    def local_inval_done(self, line: int) -> None:
+        """The eager local grant's invalidation campaign has written the
+        directory: the home's view is consistent again, release the hold."""
+        self._local_inval_due.discard(line)
+        if line in self.pending:
+            self._resolve_pending(line)
+
     # -- introspection -------------------------------------------------------
 
     def resident_lines(self) -> int:
         return sum(len(s) for s in self.sets)
+
+    def resident_line_addrs(self):
+        """Iterate the line addresses currently resident in this bank
+        (sanitizer audits; no replacement-state side effects)."""
+        for lset in self.sets:
+            for tag in lset:
+                yield tag << LINE_SHIFT
+
+    def resident_line_set(self) -> Set[int]:
+        """Set of resident line addresses (for membership tests)."""
+        return set(self.resident_line_addrs())
 
     def miss_breakdown(self) -> Dict[str, int]:
         """L1-miss service decomposition (Figure 6b)."""

@@ -210,7 +210,10 @@ def build_home_program() -> Program:
         # ---- write-back from a remote owner.  A *sharing* write-back
         #      (data sent home by a forwarded read's owner) needs neither a
         #      directory update nor an ack: the directory changed when the
-        #      home forwarded the request. ----
+        #      home forwarded the request.  It *does* release the home
+        #      bank's serialisation hold — requests for the line queued at
+        #      the home while the data was in flight resume now, reading a
+        #      fresh memory image instead of the stale pre-forward one. ----
         I(Op.LSEND, "bank_mem_write", label="he_wb"),
         _lreceive({LOCAL_MSG["BANK_DONE"]: "he_wb_test"}),
         I(Op.TEST, "is_sharing_wb", label="he_wb_test",
@@ -218,7 +221,7 @@ def build_home_program() -> Program:
         I(Op.SET, "dir_clear", label="he_wb_ack"),
         I(Op.SEND, "wb_ack"),
         I(Op.LSEND, "dir_write", next="end"),
-        I(Op.SET, "noop", label="he_sharing_done", next="end"),
+        I(Op.LSEND, "sharing_wb_done", label="he_sharing_done", next="end"),
 
         # ---- local request found the directory EXCLUSIVE(remote):
         #      3-hop fetch on behalf of a local CPU ----
@@ -251,6 +254,9 @@ def build_home_program() -> Program:
           targets={0: "he_li_dirw", None: "he_li_cmi_loop"}),
         I(Op.SET, "dir_make_exclusive_local", label="he_li_dirw"),
         I(Op.LSEND, "dir_write"),
+        # The directory is consistent again: release the home bank's
+        # serialisation hold before parking to gather acks.
+        I(Op.LSEND, "local_inval_done"),
         I(Op.TEST, "acks_pending", label="he_li_test",
           targets={0: "he_li_done", None: "he_li_gather"}),
         _receive({int(EXT.INVAL_ACK): "he_li_count"}, label="he_li_gather"),

@@ -42,6 +42,22 @@ REPLY_TYPES = frozenset({
     PacketType.WRITEBACK_ACK,
 })
 
+#: Request-class messages: they start *new* transactions, as opposed to the
+#: forward/write-back/invalidate class that completes transactions already
+#: in flight.
+REQUEST_TYPES = frozenset({
+    PacketType.READ,
+    PacketType.READ_EXCLUSIVE,
+    PacketType.EXCLUSIVE,
+    PacketType.EXCLUSIVE_NO_DATA,
+})
+
+#: TSRF entries reserved for the completion class (Section 2.5.1's
+#: deadlock-avoidance reservation): if every entry could be taken by new
+#: requests, the write-backs and forwards that those requests wait on
+#: could find no entry, deadlocking the protocol.
+TSRF_RESERVED = 2
+
 
 class ProtocolEngine(Component):
     """One microprogrammable protocol engine (home or remote)."""
@@ -69,6 +85,9 @@ class ProtocolEngine(Component):
         self.c_local_msgs = s.counter("local_messages")
         self.c_tsrf_stalls = s.counter("tsrf_stalls")
         self.a_occupancy = s.accumulator("thread_instructions")
+        #: time-weighted TSRF occupancy (satellite of the paper's 16-entry
+        #: architectural bound; reset at the warm-up boundary)
+        self.tw_tsrf = s.time_weighted("tsrf_occupancy")
 
     # -----------------------------------------------------------------------
     # Message entry points
@@ -122,6 +141,12 @@ class ProtocolEngine(Component):
             label = self.entry_map[("ext", code)]
         except KeyError:
             raise RuntimeError(f"{self.name}: no entry point for {pkt.ptype.name}")
+        if (pkt.ptype in REQUEST_TYPES
+                and self.tsrf.free_count <= TSRF_RESERVED):
+            # keep the reserved entries for the completion class
+            self.c_tsrf_stalls.inc()
+            self.stalled.append(("ext", pkt))
+            return True
         try:
             entry = self.tsrf.allocate(
                 addr, self.program.entry_points[label], self.now,
@@ -142,11 +167,21 @@ class ProtocolEngine(Component):
         self._start(entry, None)
         return True
 
+    #: local message kinds that start new transactions.  NEW_WB completes
+    #: a transaction and NEW_LOCAL_INVAL releases a serialisation hold, so
+    #: both may use the reserved TSRF entries.
+    REQUEST_LOCAL = frozenset({"NEW_READ", "NEW_READX", "NEW_LOCAL_FETCH"})
+
     def deliver_local(self, kind: str, addr: int, **vars: Any) -> None:
         """A bank (or other local module) starts a new protocol thread."""
         self.c_local_msgs.inc()
         code = LOCAL_MSG[kind]
         label = self.entry_map[("local", code)]
+        if (kind in self.REQUEST_LOCAL
+                and self.tsrf.free_count <= TSRF_RESERVED):
+            self.c_tsrf_stalls.inc()
+            self.stalled.append(("local", (kind, addr, vars)))
+            return
         try:
             entry = self.tsrf.allocate(
                 line_addr(addr), self.program.entry_points[label], self.now,
@@ -194,6 +229,15 @@ class ProtocolEngine(Component):
     # -----------------------------------------------------------------------
 
     def _start(self, entry: TsrfEntry, dispatch_code: Optional[int]) -> None:
+        trace = self.chip.trace
+        if trace is not None:
+            trace.record(
+                "dispatch", self.chip.node_id, entry.addr,
+                f"{'home' if self.is_home else 'remote'} tsrf[{entry.index}]"
+                f" pc={entry.pc}"
+                + (f" code={dispatch_code}" if dispatch_code is not None
+                   else " new-thread"))
+        self.tw_tsrf.set(self.now, self.tsrf.occupancy())
         start_at = max(0, self.busy_until - self.now)
         self.busy_until = max(self.busy_until, self.now) + self.INSTR_PS
         self.schedule(start_at, self._execute, entry, dispatch_code)
@@ -218,6 +262,7 @@ class ProtocolEngine(Component):
 
     def _retire(self, entry: TsrfEntry) -> None:
         self.tsrf.free(entry)
+        self.tw_tsrf.set(self.now, self.tsrf.occupancy())
         if self.stalled:
             origin, payload = self.stalled.popleft()
             if origin == "ext":
@@ -441,6 +486,11 @@ class ProtocolEngine(Component):
             excl = entry.vars.get("fetch_excl", False)
             ptype = (PacketType.FWD_READ_EXCLUSIVE if excl
                      else PacketType.FWD_READ)
+            if not excl:
+                # The owner will downgrade and send the data home as a
+                # sharing write-back; until it lands, memory is stale and
+                # the line must stay serialised at the home bank.
+                self._bank(entry).expect_sharing_wb(entry.addr)
             self._send(entry, ptype, entry.vars["owner"],
                        req_node=entry.vars["req_node"],
                        req_cpu=entry.vars.get("req_cpu", 0))
@@ -469,6 +519,14 @@ class ProtocolEngine(Component):
 
         def wb_ack(entry: TsrfEntry) -> None:
             self._send(entry, PacketType.WRITEBACK_ACK, entry.vars["req_node"])
+
+        def sharing_wb_done(entry: TsrfEntry) -> None:
+            bank = self._bank(entry)
+            self._effect(entry, bank.sharing_wb_arrived, entry.addr)
+
+        def local_inval_done(entry: TsrfEntry) -> None:
+            bank = self._bank(entry)
+            self._effect(entry, bank.local_inval_done, entry.addr)
 
         def fill_local(entry: TsrfEntry) -> None:
             msg = entry.vars["_msg"]
@@ -604,6 +662,8 @@ class ProtocolEngine(Component):
             "dir_write": dir_write,
             "bank_mem_write": bank_mem_write,
             "fill_local": fill_local,
+            "sharing_wb_done": sharing_wb_done,
+            "local_inval_done": local_inval_done,
         })
         conditions.update({
             "no_other_sharers": no_other_sharers,

@@ -17,7 +17,7 @@ from ..interconnect.router import Router, RouterParams, build_routers
 from ..interconnect.topology import Topology, fully_connected, line, ring
 from ..mem.addr import AddressMap
 from ..sim.engine import Simulator
-from .checker import CoherenceChecker
+from .checker import CoherenceChecker, audit_system
 from .chip import PiranhaChip
 from .config import ChipConfig
 from .directory import DirectoryStore
@@ -63,6 +63,13 @@ class PiranhaSystem:
                 attach_io_nodes(topology, io_nodes)
         self.topology = topology
         self.checker = checker
+        if checker is not None and checker.trace is not None:
+            # stamp trace events with simulated time
+            checker.trace.clock = lambda: self.sim.now
+        #: continuous-audit state (see :meth:`enable_continuous_audit`)
+        self._audit_interval_ps: Optional[int] = None
+        self._audit_tsrf_timeout_ps: Optional[int] = None
+        self.continuous_audits = 0
         #: authoritative memory image: line -> committed version
         self.mem_versions: Dict[int, int] = {}
         self.dirstores: List[DirectoryStore] = [
@@ -103,6 +110,8 @@ class PiranhaSystem:
         for node in self.nodes:
             node.start_cpus()
             self._running_cpus += node.cpus_running
+        if self._audit_interval_ps and self._running_cpus:
+            self.sim.schedule(self._audit_interval_ps, self._continuous_audit)
 
     def cpu_warmed_up(self, node_id: int, cpu_id: int) -> None:
         """A CPU crossed its warm-up boundary; once all have, shared-module
@@ -113,17 +122,20 @@ class PiranhaSystem:
             self.reset_module_stats()
 
     def reset_module_stats(self) -> None:
+        # Time-weighted trackers are anchored at *now* so warm-up
+        # occupancy area cannot pollute the steady-state means.
+        now = self.sim.now
         for node in self.nodes:
             for bank in node.banks:
-                bank.stats.reset_all()
+                bank.stats.reset_all(now)
             for mc in node.mcs:
-                mc.stats.reset_all()
-                mc.channel.stats.reset_all()
-            node.ics.stats.reset_all()
-            node.home_engine.stats.reset_all()
-            node.remote_engine.stats.reset_all()
+                mc.stats.reset_all(now)
+                mc.channel.stats.reset_all(now)
+            node.ics.stats.reset_all(now)
+            node.home_engine.stats.reset_all(now)
+            node.remote_engine.stats.reset_all(now)
         for router in self.routers.values():
-            router.stats.reset_all()
+            router.stats.reset_all(now)
 
     def cpu_finished(self, node_id: int, cpu_id: int) -> None:
         self._running_cpus -= 1
@@ -144,6 +156,43 @@ class PiranhaSystem:
             for node in self.nodes for cpu in node.cpus
             if cpu.thread is not None
         )
+
+    # -- protocol sanitizer -----------------------------------------------------
+
+    def enable_continuous_audit(self, interval_ps: int = 5_000_000,
+                                tsrf_timeout_ps: Optional[int] = None) -> None:
+        """Run the continuous-safe sanitizer audit set every *interval_ps*
+        of simulated time while CPUs are running (MGSim-style always-on
+        runtime invariant checks).  ``tsrf_timeout_ps`` additionally flags
+        protocol threads that have been live longer than the timeout.
+
+        The mid-run set skips the quiesce-only invariants (eager-reply
+        staleness, directory cross-consistency) that in-flight
+        transactions legitimately violate; :meth:`verify` runs everything
+        once the system has drained.
+        """
+        if interval_ps <= 0:
+            raise ValueError("audit interval must be positive")
+        self._audit_interval_ps = interval_ps
+        self._audit_tsrf_timeout_ps = tsrf_timeout_ps
+
+    def _continuous_audit(self) -> None:
+        audit_system(self, quiesced=False,
+                     tsrf_timeout_ps=self._audit_tsrf_timeout_ps)
+        self.continuous_audits += 1
+        if self._running_cpus > 0:
+            # stop rescheduling once the workload finishes, so the event
+            # queue can drain (verify() covers the end state)
+            self.sim.schedule(self._audit_interval_ps, self._continuous_audit)
+
+    def verify(self, quiesced: bool = True) -> Dict[str, float]:
+        """Run the full sanitizer audit set (checker quiesce invariants +
+        structural audits); returns the audit telemetry.  The CLI
+        ``--check`` path and the harness ``check_coherence=True`` path
+        both call exactly this."""
+        telemetry = audit_system(self, quiesced=quiesced)
+        telemetry["audit_continuous_runs"] = float(self.continuous_audits)
+        return telemetry
 
     # -- aggregate statistics ---------------------------------------------------
 

@@ -64,6 +64,7 @@ class Tsrf:
         self.entries: List[TsrfEntry] = [TsrfEntry(i) for i in range(entries)]
         self.high_water = 0
         self.allocations = 0
+        self.frees = 0
         self.alloc_failures = 0
 
     def allocate(self, addr: int, pc: int, now_ps: int, **vars: Any) -> TsrfEntry:
@@ -85,6 +86,8 @@ class Tsrf:
         raise TsrfFullError(f"all {len(self.entries)} TSRF entries busy")
 
     def free(self, entry: TsrfEntry) -> None:
+        if entry.valid:
+            self.frees += 1
         entry.reset()
 
     def match(self, addr: int, waiting: str) -> Optional[TsrfEntry]:

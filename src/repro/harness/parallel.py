@@ -47,6 +47,7 @@ class Job:
     units_attr: str = "transactions"
     check_coherence: bool = False
     cache_key_extra: tuple = ()
+    trace_capacity: int = 0
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -66,9 +67,11 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
 
 def _execute(job: Job) -> RunResult:
     """Worker-side entry: plain simulation.  Cache reads and writes stay
-    in the parent so workers never race on the cache directory."""
+    in the parent so workers never race on the cache directory.  The
+    sanitizer telemetry lives in ``RunResult.extras``, so it rides the
+    pickle back to the parent like any other field."""
     return simulate(job.config, job.factory, job.num_nodes, job.units_attr,
-                    job.check_coherence)
+                    job.check_coherence, job.trace_capacity)
 
 
 def _run_serial(job: Job) -> RunResult:
@@ -76,6 +79,7 @@ def _run_serial(job: Job) -> RunResult:
         job.config, job.factory, num_nodes=job.num_nodes,
         units_attr=job.units_attr, check_coherence=job.check_coherence,
         cache_key_extra=job.cache_key_extra,
+        trace_capacity=job.trace_capacity,
     )
 
 
@@ -102,7 +106,7 @@ def run_jobs(jobs_list: Sequence[Job], jobs: Optional[int] = None) -> List[RunRe
     for i, job in enumerate(jobs_list):
         cached = cached_result(
             job.config, job.factory, job.num_nodes, job.units_attr,
-            job.check_coherence, job.cache_key_extra)
+            job.check_coherence, job.cache_key_extra, job.trace_capacity)
         if cached is not None:
             results[i] = cached
         else:
@@ -125,7 +129,7 @@ def run_jobs(jobs_list: Sequence[Job], jobs: Optional[int] = None) -> List[RunRe
                 job = jobs_list[i]
                 store_result(result, job.config, job.factory, job.num_nodes,
                              job.units_attr, job.check_coherence,
-                             job.cache_key_extra)
+                             job.cache_key_extra, job.trace_capacity)
                 results[i] = result
 
     for i in serial_idx:

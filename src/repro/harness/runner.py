@@ -143,12 +143,21 @@ def _memo_key(config: ChipConfig, workload_factory: Callable,
             check_coherence, cache_key_extra)
 
 
+def _trace_key_extra(cache_key_extra: tuple, trace_capacity: int) -> tuple:
+    """Fold the trace setting into the cache discriminator: a traced run
+    records different extras (``trace_events``) than an untraced one."""
+    if not trace_capacity:
+        return cache_key_extra
+    return cache_key_extra + (("trace", trace_capacity),)
+
+
 def simulate(
     config: ChipConfig,
     workload_factory: Callable[[ChipConfig, int], object],
     num_nodes: int = 1,
     units_attr: str = "transactions",
     check_coherence: bool = False,
+    trace_capacity: int = 0,
 ) -> RunResult:
     """Run one simulation point, uncached.
 
@@ -156,16 +165,31 @@ def simulate(
     sweep harness and the parallel workers all assemble their metrics
     here, so the busy/L2/mem fractions and the miss breakdown cannot
     drift between entry points.
+
+    ``check_coherence=True`` attaches the protocol sanitizer: the
+    continuous mid-run audit set plus the full quiesce audit via
+    :meth:`~repro.core.system.PiranhaSystem.verify` — exactly what the
+    CLI ``--check`` path runs — with the audit telemetry merged into
+    ``RunResult.extras`` (so it survives the ProcessPool round-trip).
+    ``trace_capacity`` additionally attaches a ring-buffered protocol
+    trace of that many events; violations then carry the per-line event
+    history.
     """
     workload = workload_factory(config, num_nodes)
-    checker = CoherenceChecker() if check_coherence else None
+    checker = None
+    if check_coherence or trace_capacity:
+        checker = (CoherenceChecker.with_trace(trace_capacity)
+                   if trace_capacity else CoherenceChecker())
     system = PiranhaSystem(config, num_nodes=num_nodes, checker=checker)
     system.attach_workload(workload)
+    if check_coherence:
+        system.enable_continuous_audit()
     wall0 = time.time()
     system.run_to_completion()
     wall = time.time() - wall0
+    sanitizer: Dict[str, float] = {}
     if checker is not None:
-        checker.verify_quiesced()
+        sanitizer = system.verify()
 
     units = getattr(workload.params, units_attr)
     per_cpu_ps = max(cpu.total_ps for cpu in system.all_cpus())
@@ -193,6 +217,7 @@ def simulate(
         miss_fwd_frac=mb["l2_fwd"] / misses,
         miss_mem_frac=mb["l2_miss"] / misses,
         sim_wall_s=wall,
+        extras=dict(sanitizer),
     )
 
 
@@ -210,10 +235,12 @@ def cached_result(
     units_attr: str = "transactions",
     check_coherence: bool = False,
     cache_key_extra: tuple = (),
+    trace_capacity: int = 0,
 ) -> Optional[RunResult]:
     """Memo/disk lookup for one point; None on miss (or caching off)."""
     if not cache_enabled():
         return None
+    cache_key_extra = _trace_key_extra(cache_key_extra, trace_capacity)
     memo_key = _memo_key(config, workload_factory, num_nodes, units_attr,
                          check_coherence, cache_key_extra)
     result = _MEMO.get(memo_key)
@@ -236,10 +263,12 @@ def store_result(
     units_attr: str = "transactions",
     check_coherence: bool = False,
     cache_key_extra: tuple = (),
+    trace_capacity: int = 0,
 ) -> None:
     """Record a freshly simulated point in the memo and disk caches."""
     if not cache_enabled():
         return
+    cache_key_extra = _trace_key_extra(cache_key_extra, trace_capacity)
     _MEMO.put(_memo_key(config, workload_factory, num_nodes, units_attr,
                         check_coherence, cache_key_extra), result)
     DISK_CACHE.put(
@@ -254,16 +283,17 @@ def run_configured(
     units_attr: str = "transactions",
     check_coherence: bool = False,
     cache_key_extra: tuple = (),
+    trace_capacity: int = 0,
 ) -> RunResult:
     """Simulate one explicit configuration, with two-level caching."""
     cached = cached_result(config, workload_factory, num_nodes, units_attr,
-                           check_coherence, cache_key_extra)
+                           check_coherence, cache_key_extra, trace_capacity)
     if cached is not None:
         return cached
     result = simulate(config, workload_factory, num_nodes, units_attr,
-                      check_coherence)
+                      check_coherence, trace_capacity)
     store_result(result, config, workload_factory, num_nodes, units_attr,
-                 check_coherence, cache_key_extra)
+                 check_coherence, cache_key_extra, trace_capacity)
     return _attach_telemetry(result)
 
 
@@ -274,6 +304,7 @@ def run_workload(
     units_attr: str = "transactions",
     check_coherence: bool = False,
     cache_key_extra: tuple = (),
+    trace_capacity: int = 0,
 ) -> RunResult:
     """Simulate one preset configuration under one workload.
 
@@ -283,5 +314,5 @@ def run_workload(
     return run_configured(
         preset(config_name), workload_factory, num_nodes=num_nodes,
         units_attr=units_attr, check_coherence=check_coherence,
-        cache_key_extra=cache_key_extra,
+        cache_key_extra=cache_key_extra, trace_capacity=trace_capacity,
     )

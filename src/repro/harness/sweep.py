@@ -68,7 +68,8 @@ def record_from_result(result: RunResult) -> Dict:
 
 
 def run_config(config: ChipConfig, workload_factory: Callable,
-               num_nodes: int = 1, units_attr: str = "transactions") -> Dict:
+               num_nodes: int = 1, units_attr: str = "transactions",
+               check_coherence: bool = False) -> Dict:
     """Simulate one configuration; returns a metrics dict.
 
     Delegates to :func:`repro.harness.runner.run_configured`, the single
@@ -76,7 +77,8 @@ def run_config(config: ChipConfig, workload_factory: Callable,
     duplicated here and could drift from the runner's)."""
     return record_from_result(
         run_configured(config, workload_factory, num_nodes=num_nodes,
-                       units_attr=units_attr))
+                       units_attr=units_attr,
+                       check_coherence=check_coherence))
 
 
 def sweep_configs(base: ChipConfig, dotted: str,
@@ -93,19 +95,23 @@ def sweep_configs(base: ChipConfig, dotted: str,
 def sweep_field(base, workload_factory: Callable, dotted: str,
                 values: Sequence, num_nodes: int = 1,
                 units_attr: str = "transactions",
-                jobs: Optional[int] = None) -> List[Dict]:
+                jobs: Optional[int] = None,
+                check_coherence: bool = False) -> List[Dict]:
     """Sweep one config field over *values*; returns one record per point
     (with the swept value under ``"value"``).
 
     ``jobs`` (default: the ``REPRO_JOBS`` environment variable, else 1)
     fans the points out across worker processes; records are identical to
-    a serial sweep regardless of the worker count.
+    a serial sweep regardless of the worker count.  ``check_coherence``
+    runs every point under the protocol sanitizer (any violation raises
+    out of the sweep).
     """
     base_config = preset(base) if isinstance(base, str) else base
     configs = sweep_configs(base_config, dotted, values)
     results = run_jobs(
         [Job(config=c, factory=workload_factory, num_nodes=num_nodes,
-             units_attr=units_attr) for c in configs],
+             units_attr=units_attr, check_coherence=check_coherence)
+         for c in configs],
         jobs=jobs,
     )
     out = []

@@ -102,7 +102,13 @@ class Histogram:
         """Fraction of samples strictly below *edge* (must be a bin edge)."""
         if self.samples == 0:
             return 0.0
-        idx = self.edges.index(edge)
+        try:
+            idx = self.edges.index(edge)
+        except ValueError:
+            raise ValueError(
+                f"histogram {self.name!r}: {edge!r} is not a bin edge; "
+                f"valid edges are {self.edges}"
+            ) from None
         return sum(self.bins[: idx + 1]) / self.samples
 
     def __repr__(self) -> str:  # pragma: no cover
@@ -112,7 +118,8 @@ class Histogram:
 class TimeWeighted:
     """Time-weighted average of a level (e.g. occupancy, queue depth)."""
 
-    __slots__ = ("name", "_level", "_last_time", "_area", "_max")
+    __slots__ = ("name", "_level", "_last_time", "_area", "_max",
+                 "_start_time")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -120,6 +127,7 @@ class TimeWeighted:
         self._last_time = 0
         self._area = 0.0
         self._max = 0.0
+        self._start_time = 0
 
     def set(self, now_ps: int, level: float) -> None:
         """Record that the tracked level changed to *level* at *now_ps*."""
@@ -133,12 +141,26 @@ class TimeWeighted:
         """Add *delta* to the current level at *now_ps*."""
         self.set(now_ps, self._level + delta)
 
+    def reset(self, now_ps: int) -> None:
+        """Time-anchored reset: discard accumulated area (and the peak)
+        and restart the measurement window at *now_ps*, preserving the
+        current level — the tracked quantity (queue depth, occupancy)
+        does not change just because measurement restarts.  Used at the
+        warm-up boundary so warm-up area cannot pollute steady-state
+        time-weighted means."""
+        self._area = 0.0
+        self._last_time = now_ps
+        self._start_time = now_ps
+        self._max = self._level
+
     def mean(self, now_ps: int) -> float:
-        """Time-weighted mean level over [0, now_ps]."""
-        if now_ps == 0:
+        """Time-weighted mean level over the measurement window (from the
+        last reset — time 0 by default — to *now_ps*)."""
+        span = now_ps - self._start_time
+        if span <= 0:
             return 0.0
         area = self._area + self._level * (now_ps - self._last_time)
-        return area / now_ps
+        return area / span
 
     @property
     def peak(self) -> float:
@@ -202,14 +224,21 @@ class StatGroup:
     def __contains__(self, name: str) -> bool:
         return name in self._stats
 
-    def reset_all(self) -> None:
-        """Zero every counter/accumulator (used at warm-up boundaries)."""
+    def reset_all(self, now_ps: int = 0) -> None:
+        """Zero every statistic (used at warm-up boundaries).
+
+        *now_ps* anchors :class:`TimeWeighted` trackers at the reset
+        time; without it their warm-up area would pollute every
+        post-reset time-weighted mean.
+        """
         for stat in self._stats.values():
             if isinstance(stat, (Counter, Accumulator)):
                 stat.reset()
             elif isinstance(stat, Histogram):
                 stat.bins = [0] * len(stat.bins)
                 stat.samples = 0
+            elif isinstance(stat, TimeWeighted):
+                stat.reset(now_ps)
 
     def as_dict(self) -> Dict[str, object]:
         """Flatten to plain numbers for reporting."""
@@ -221,6 +250,7 @@ class StatGroup:
                 out[name] = {
                     "count": stat.count,
                     "mean": stat.mean,
+                    "stdev": stat.stdev,
                     "min": stat.min,
                     "max": stat.max,
                 }

@@ -45,7 +45,14 @@ class TestTsrfExhaustion:
         system.sim.run()
         assert len(log) == count
         he = system.nodes[0].home_engine
-        assert he.tsrf.high_water == 16          # the bound was reached
+        # Request-class messages stall once free entries drop to the
+        # reserved pool (kept for completion-class messages, §2.5.1's
+        # deadlock-avoidance discipline), so a pure request flood tops
+        # out at TSRF_ENTRIES - TSRF_RESERVED.
+        from repro.core.protocol_engine import TSRF_RESERVED
+        from repro.core.tsrf import TSRF_ENTRIES
+
+        assert he.tsrf.high_water == TSRF_ENTRIES - TSRF_RESERVED
         assert he.c_tsrf_stalls.value > 0        # and input stalled
         assert he.tsrf.occupancy() == 0          # and fully drained
         checker.verify_quiesced()

@@ -33,6 +33,30 @@ class TestCli:
                      "--scale", "0.2", "--check"]) == 0
         out = capsys.readouterr().out
         assert "audit: OK" in out
+        assert "continuous audits" in out
+
+    def test_run_with_check_and_trace(self, capsys):
+        assert main(["run", "--config", "P2", "--nodes", "2",
+                     "--workload", "migratory", "--scale", "0.2",
+                     "--check", "--trace", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "audit: OK" in out
+
+    def test_trace_subcommand_dumps_events(self, capsys):
+        assert main(["trace", "--config", "P2", "--workload", "migratory",
+                     "--scale", "0.2", "--last", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "protocol trace" in out
+        assert "event totals:" in out
+        # at most `--last` event lines in the dump
+        assert 0 < sum(1 for l in out.splitlines()
+                       if l.startswith("#")) <= 5
+
+    def test_trace_subcommand_line_filter(self, capsys):
+        assert main(["trace", "--config", "P2", "--workload", "migratory",
+                     "--scale", "0.2", "--node", "0", "--last", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "[node=0]" in out
 
     def test_unknown_config_rejected(self):
         with pytest.raises(SystemExit):

@@ -107,6 +107,26 @@ class TestParallelEquivalence:
         assert [r.payload_tuple() for r in results] == \
                [r.payload_tuple() for r in reference]
 
+    def test_sanitizer_extras_survive_process_pool(self, monkeypatch):
+        """check_coherence=True jobs carry the sanitizer telemetry back
+        across the ProcessPool boundary in ``RunResult.extras``, matching
+        the serial run exactly."""
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        jobs = [dataclasses.replace(j, check_coherence=True,
+                                    trace_capacity=256)
+                for j in micro_jobs(2)]
+        direct = simulate(jobs[0].config, jobs[0].factory,
+                          units_attr=jobs[0].units_attr,
+                          check_coherence=True, trace_capacity=256)
+        pooled, _ = run_jobs(jobs, jobs=2)
+        sanitizer_keys = [k for k in pooled.extras
+                          if not k.startswith("cache_")]
+        assert "audit_quiesced" in sanitizer_keys
+        assert "checker_fills" in sanitizer_keys
+        assert "trace_events" in sanitizer_keys
+        assert {k: pooled.extras[k] for k in sanitizer_keys} == \
+               {k: direct.extras[k] for k in sanitizer_keys}
+
     def test_resolve_jobs(self, monkeypatch):
         assert resolve_jobs(3) == 3
         assert resolve_jobs(None) == 1

@@ -57,3 +57,28 @@ class TestSystemReport:
             for r in reports for eng in r["engines"].values()
         )
         assert total_threads > 0
+
+
+class TestZeroActivity:
+    """A freshly built system that never ran must still report cleanly:
+    no division-by-zero from zero instruction/request counts, and every
+    rate pinned at zero."""
+
+    def test_report_on_idle_system(self):
+        system = PiranhaSystem(preset("P2"), num_nodes=2)
+        reports = system_report(system)
+        assert [r["node"] for r in reports] == ["node0", "node1"]
+        for report in reports:
+            for cpu in report["cpus"]:
+                assert cpu["instructions"] == 0
+                assert cpu["l1_miss_rate"] == 0.0
+                assert cpu["busy_frac"] == 0.0
+            assert report["l2"]["requests"] == 0
+            for eng in report["engines"].values():
+                assert eng["threads"] == 0
+
+    def test_render_on_idle_system(self):
+        system = PiranhaSystem(preset("P1"), num_nodes=1)
+        text = render_report(system_report(system))
+        assert "node0" in text
+        assert "L2 requests" in text

@@ -58,6 +58,14 @@ class TestHistogram:
             h.add(v)
         assert h.fraction_below(10) == 0.5
 
+    def test_fraction_below_bad_edge_names_valid_edges(self):
+        h = Histogram("h", [10, 20])
+        h.add(5)
+        with pytest.raises(ValueError) as exc:
+            h.fraction_below(15)
+        assert "not a bin edge" in str(exc.value)
+        assert "[10, 20]" in str(exc.value)
+
     def test_empty_edges_rejected(self):
         with pytest.raises(ValueError):
             Histogram("h", [])
@@ -80,6 +88,24 @@ class TestTimeWeighted:
 
     def test_mean_at_zero(self):
         assert TimeWeighted("x").mean(0) == 0.0
+
+    def test_reset_anchors_window_and_keeps_level(self):
+        tw = TimeWeighted("occ")
+        tw.set(0, 10.0)          # warm-up: level 10 for 100 ps
+        tw.reset(100)
+        # level survives the reset (the queue didn't empty), but the
+        # warm-up area is gone: mean over the new window is the level
+        assert tw.level == 10.0
+        tw.set(150, 0.0)         # 10 for 50 ps, then 0 for 50 ps
+        assert tw.mean(200) == pytest.approx(5.0)
+
+    def test_reset_clears_peak(self):
+        tw = TimeWeighted("occ")
+        tw.set(0, 8.0)
+        tw.set(10, 2.0)
+        assert tw.peak == 8.0
+        tw.reset(20)
+        assert tw.peak == 2.0    # peak restarts from the surviving level
 
 
 class TestStatGroup:
@@ -109,6 +135,13 @@ class TestStatGroup:
         assert d["hits"] == 3
         assert d["lat"]["count"] == 1
 
+    def test_as_dict_includes_stdev(self):
+        g = StatGroup("mod")
+        acc = g.accumulator("lat")
+        for v in (2, 4, 4, 4, 5, 5, 7, 9):
+            acc.add(v)
+        assert g.as_dict()["lat"]["stdev"] == pytest.approx(2.0)
+
     def test_reset_all(self):
         g = StatGroup("mod")
         g.counter("hits").inc(3)
@@ -118,3 +151,13 @@ class TestStatGroup:
         assert g.counter("hits").value == 0
         assert g.accumulator("lat").count == 0
         assert g.histogram("h", [1, 2]).samples == 0
+
+    def test_reset_all_anchors_time_weighted(self):
+        g = StatGroup("mod")
+        tw = g.time_weighted("occ")
+        tw.set(0, 6.0)
+        g.reset_all(now_ps=300)
+        # measurement restarts at 300 ps with the level intact: the
+        # 0-300 ps warm-up area must not pollute the post-reset mean
+        assert tw.level == 6.0
+        assert tw.mean(400) == pytest.approx(6.0)
