@@ -20,6 +20,11 @@ Usage::
     PYTHONPATH=src python scripts/bench_wallclock.py
     PYTHONPATH=src python scripts/bench_wallclock.py --scale 0.25 --jobs 4
     PYTHONPATH=src python scripts/bench_wallclock.py --quick
+    PYTHONPATH=src python scripts/bench_wallclock.py --observability
+
+``--observability`` times the same P8 OLTP run with latency probes and
+the interval sampler off/on and appends the overhead comparison to
+``BENCH_observability.json`` instead.
 
 Determinism makes the measurements comparable across runs: the simulated
 results are bit-for-bit identical in every mode, only wall-clock varies.
@@ -150,6 +155,85 @@ def bench_sweep(scale: float, jobs: int, points: int) -> dict:
     }
 
 
+def bench_observability(scale: float, probe_rate: int = 64,
+                        sample_us: float = 50.0) -> dict:
+    """Wall-clock cost of the observability layer on one P8 OLTP run.
+
+    Three passes over the identical workload: instrumentation off (the
+    baseline the ``<= 2%`` disabled-path budget is judged against),
+    probes+sampler at the default CI settings, and probes at rate 1
+    (every miss tagged — the worst case)."""
+    from repro.core import PiranhaSystem, preset
+    from repro.workloads import OltpParams, OltpWorkload
+
+    op = OltpParams()
+    op = replace(op, transactions=max(20, int(op.transactions * scale)),
+                 warmup_transactions=max(40, int(op.warmup_transactions * scale)))
+
+    def run(rate: int, interval_us: float) -> dict:
+        system = PiranhaSystem(preset("P8"), num_nodes=1)
+        system.attach_workload(OltpWorkload(op, cpus_per_node=8))
+        if rate:
+            system.enable_probes(rate)
+        if interval_us:
+            system.enable_sampler(int(interval_us * 1e6))
+        t0 = time.perf_counter()
+        system.run_to_completion()
+        wall = time.perf_counter() - t0
+        rec = {"wall_s": round(wall, 4),
+               "events": system.sim.events_fired}
+        if system.probes is not None:
+            rec["probes_completed"] = system.probes.completed
+        return rec
+
+    base = run(0, 0)
+    probed = run(probe_rate, sample_us)
+    full = run(1, sample_us)
+    return {
+        "probe_rate": probe_rate,
+        "sample_interval_us": sample_us,
+        "disabled": base,
+        "probed": probed,
+        "probe_every_miss": full,
+        "overhead_probed_pct": round(
+            (probed["wall_s"] / base["wall_s"] - 1) * 100, 2),
+        "overhead_every_miss_pct": round(
+            (full["wall_s"] / base["wall_s"] - 1) * 100, 2),
+    }
+
+
+def run_observability(args) -> int:
+    """``--observability``: record the probe-overhead comparison."""
+    print(f"observability overhead (P8 OLTP, scale={args.scale})...")
+    obs = bench_observability(args.scale)
+    print(f"  disabled {obs['disabled']['wall_s']}s, "
+          f"probed(1/{obs['probe_rate']}) {obs['probed']['wall_s']}s "
+          f"({obs['overhead_probed_pct']:+.1f}%), "
+          f"every-miss {obs['probe_every_miss']['wall_s']}s "
+          f"({obs['overhead_every_miss_pct']:+.1f}%)")
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "scale": args.scale,
+        "cores": os.cpu_count() or 1,
+        "python": sys.version.split()[0],
+        "observability": obs,
+    }
+    out = os.path.join(REPO_ROOT, "BENCH_observability.json")
+    history = {"records": []}
+    if os.path.exists(out):
+        try:
+            with open(out, "r", encoding="utf-8") as f:
+                history = json.load(f)
+        except (OSError, ValueError):
+            pass
+    history.setdefault("records", []).append(record)
+    with open(out, "w", encoding="utf-8") as f:
+        json.dump(history, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"appended record to {out}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", type=float,
@@ -164,7 +248,14 @@ def main(argv=None) -> int:
                         help="smaller engine bench + 3-point sweep")
     parser.add_argument("--out", default=os.path.join(REPO_ROOT,
                                                       "BENCH_harness.json"))
+    parser.add_argument("--observability", action="store_true",
+                        help="only run the probes-off/probes-on overhead "
+                             "comparison (appends to "
+                             "BENCH_observability.json)")
     args = parser.parse_args(argv)
+
+    if args.observability:
+        return run_observability(args)
 
     os.environ["REPRO_SCALE"] = str(args.scale)
     cores = os.cpu_count() or 1

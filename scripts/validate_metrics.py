@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Validate an emitted metrics document (CI metrics-smoke gate).
+
+Checks three things about a ``repro run --metrics out.json`` file:
+
+1. **Schema**: the document passes
+   :func:`repro.harness.metrics.validate_metrics` (versioned schema id,
+   required blocks, histogram mass = class count, intervals well-formed).
+2. **Coverage**: the probe collector completed a sensible number of
+   probes and the time series has at least two intervals.
+3. **Cross-check**: the probe-measured mean L2-hit latency agrees with
+   the counter-derived mean (CPU stall accounting) within a tolerance —
+   two fully independent measurement paths over the same simulation.
+
+Usage::
+
+    PYTHONPATH=src python scripts/validate_metrics.py out.json
+    PYTHONPATH=src python scripts/validate_metrics.py out.json \
+        --tolerance 0.15 --min-intervals 2
+
+Exits non-zero (with a list of problems) on any failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+
+def check(doc: dict, tolerance: float, min_intervals: int,
+          min_probes: int) -> list:
+    from repro.harness.metrics import validate_metrics
+
+    problems = list(validate_metrics(doc))
+
+    probes = doc.get("probes") or {}
+    if probes.get("completed", 0) < min_probes:
+        problems.append(
+            f"only {probes.get('completed', 0)} probes completed "
+            f"(need >= {min_probes}); raise the workload size or lower "
+            f"--probe-rate")
+    ts = doc.get("timeseries") or {}
+    if ts.get("count", 0) < min_intervals:
+        problems.append(
+            f"time series has {ts.get('count', 0)} intervals "
+            f"(need >= {min_intervals}); lower --sample-interval")
+
+    # Probe-vs-counter latency cross-check on the L2-hit class: both
+    # sides measure the same population (issue -> fill), one via probe
+    # timestamps, the other via CPU stall accounting.
+    cls = (probes.get("classes") or {}).get("l2_hit") or {}
+    counter = (doc.get("stall_latency") or {}).get("l2_hit") or {}
+    if cls.get("count") and counter.get("count"):
+        probe_ns = cls["mean_ns"]
+        counter_ns = counter["mean_ns"]
+        if counter_ns > 0:
+            err = abs(probe_ns - counter_ns) / counter_ns
+            if err > tolerance:
+                problems.append(
+                    f"L2-hit latency cross-check failed: probe mean "
+                    f"{probe_ns:.1f} ns vs counter-derived "
+                    f"{counter_ns:.1f} ns ({err:.0%} > {tolerance:.0%})")
+    elif not cls.get("count"):
+        problems.append("no completed l2_hit probes to cross-check")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", help="metrics JSON file to validate")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="relative tolerance for the probe-vs-counter "
+                             "L2-hit latency check (default 0.15; sampled "
+                             "probes see a subset of misses, so a sampling "
+                             "margin is expected at high rates)")
+    parser.add_argument("--min-intervals", type=int, default=2,
+                        help="minimum time-series intervals (default 2)")
+    parser.add_argument("--min-probes", type=int, default=20,
+                        help="minimum completed probes (default 20)")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+
+    problems = check(doc, args.tolerance, args.min_intervals,
+                     args.min_probes)
+    if problems:
+        print(f"{args.path}: {len(problems)} problem(s):", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+
+    probes = doc.get("probes") or {}
+    ts = doc.get("timeseries") or {}
+    print(f"{args.path}: OK — schema {doc['schema']}, "
+          f"{probes.get('completed', 0)} probes across "
+          f"{sum(1 for b in (probes.get('classes') or {}).values() if b.get('count'))} classes, "
+          f"{ts.get('count', 0)} time-series intervals")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,9 @@ Runs one workload on one configuration and prints the standard report::
 
     python -m repro run --config P8 --workload oltp
     python -m repro run --config P4 --nodes 4 --workload oltp --check
+    python -m repro run --workload oltp --metrics out.json \
+        --probe-rate 64 --sample-interval 50
+    python -m repro report --workload oltp --json
     python -m repro sweep --config P8 --workload oltp \
         --field l2.size_bytes --values 512K,1M,2M --jobs 4
     python -m repro cache
@@ -75,7 +78,41 @@ def _build_checked_system(args: argparse.Namespace):
     system.attach_workload(workload)
     if check:
         system.enable_continuous_audit()
+    probe_rate = getattr(args, "probe_rate", 0) or 0
+    sample_us = getattr(args, "sample_interval", 0) or 0
+    metrics_path = getattr(args, "metrics", None)
+    wants_doc = metrics_path or getattr(args, "json", False)
+    if wants_doc and not (probe_rate or sample_us):
+        # --metrics (and report --json) alone imply the default
+        # observability settings
+        probe_rate = 64
+        sample_us = 50.0
+        # keep the namespace consistent so the emitted document records
+        # the rates that actually ran
+        args.probe_rate = probe_rate
+        args.sample_interval = sample_us
+    if probe_rate:
+        system.enable_probes(probe_rate)
+    if sample_us:
+        system.enable_sampler(int(sample_us * 1e6))
     return config, system, checker
+
+
+def _emit_metrics(system, args, path: str) -> None:
+    """Write the structured metrics JSON (+ time-series CSV sibling)."""
+    from .harness.metrics import metrics_doc, timeseries_csv, write_metrics
+
+    doc = metrics_doc(system, None,
+                      probe_rate=getattr(args, "probe_rate", 0) or 0,
+                      sample_interval_ps=int(
+                          (getattr(args, "sample_interval", 0) or 0) * 1e6))
+    write_metrics(doc, path)
+    print(f"metrics written to {path}")
+    if doc["timeseries"] is not None:
+        csv_path = (path[:-5] if path.endswith(".json") else path) + ".csv"
+        with open(csv_path, "w") as fh:
+            fh.write(timeseries_csv(doc))
+        print(f"time-series written to {csv_path}")
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -105,11 +142,44 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"L1 misses: {mb['l2_hit'] / misses:.0%} L2 hit, "
           f"{mb['l2_fwd'] / misses:.0%} L1-to-L1 forward, "
           f"{mb['l2_miss'] / misses:.0%} memory")
+    if system.probes is not None:
+        probes = system.probes.as_dict()
+        parts = [f"{cls}: {blk['count']} @ {blk['mean_ns']:.0f} ns"
+                 for cls, blk in probes["classes"].items() if blk["count"]]
+        print(f"latency probes (1/{probes['rate']}): "
+              f"{probes['completed']} completed — " + ", ".join(parts))
+    if getattr(args, "metrics", None):
+        _emit_metrics(system, args, args.metrics)
     if args.report:
         from .harness.perfmon import render_report, system_report
 
         print()
-        print(render_report(system_report(system)))
+        print(render_report(system_report(system, now_ps=system.sim.now)))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """``report``: run one workload and print the performance-monitor
+    rollup — text tables by default, the structured metrics document
+    with ``--json``."""
+    config, system, _checker = _build_checked_system(args)
+    print(f"simulating {args.workload} on {args.nodes} x {config.name} "
+          f"({config.cpus * args.nodes} CPUs) ...", file=sys.stderr)
+    system.run_to_completion()
+    if args.json:
+        import json
+
+        from .harness.metrics import metrics_doc
+
+        doc = metrics_doc(
+            system, None,
+            probe_rate=args.probe_rate or 0,
+            sample_interval_ps=int((args.sample_interval or 0) * 1e6))
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        from .harness.perfmon import render_report, system_report
+
+        print(render_report(system_report(system, now_ps=system.sim.now)))
     return 0
 
 
@@ -254,7 +324,39 @@ def main(argv=None) -> int:
                             "512); violations dump the per-line history")
     run_p.add_argument("--report", action="store_true",
                        help="print the full per-module performance report")
+    run_p.add_argument("--metrics", metavar="PATH", default=None,
+                       help="write the structured metrics JSON here (plus "
+                            "a .csv time-series sibling); implies "
+                            "--probe-rate 64 --sample-interval 50 unless "
+                            "given explicitly")
+    run_p.add_argument("--probe-rate", type=int, default=0, metavar="N",
+                       help="tag 1 of every N L1 misses with a latency "
+                            "probe (0 = off)")
+    run_p.add_argument("--sample-interval", type=float, default=0,
+                       metavar="US",
+                       help="time-series sampling period in simulated "
+                            "microseconds (0 = off)")
     run_p.set_defaults(fn=cmd_run)
+
+    report_p = sub.add_parser(
+        "report", help="run a workload and print the perfmon rollup")
+    report_p.add_argument("--config", default="P8", choices=sorted(PRESETS))
+    report_p.add_argument("--workload", default="oltp",
+                          choices=sorted(WORKLOADS))
+    report_p.add_argument("--nodes", type=int, default=1)
+    report_p.add_argument("--scale", type=float, default=1.0,
+                          help="workload size multiplier")
+    report_p.add_argument("--json", action="store_true",
+                          help="emit the structured metrics document "
+                               "instead of text tables")
+    report_p.add_argument("--probe-rate", type=int, default=0, metavar="N",
+                          help="tag 1 of every N L1 misses with a latency "
+                               "probe (0 = off)")
+    report_p.add_argument("--sample-interval", type=float, default=0,
+                          metavar="US",
+                          help="time-series sampling period in simulated "
+                               "microseconds (0 = off)")
+    report_p.set_defaults(fn=cmd_report)
 
     trace_p = sub.add_parser(
         "trace", help="run a workload with the protocol trace and dump it")

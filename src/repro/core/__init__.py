@@ -10,6 +10,7 @@ from .checker import (
     audit_tsrf,
 )
 from .chip import PiranhaChip
+from .probe import PROBE_CLASSES, ProbeCollector, TxnProbe, classify
 from .config import (
     INO,
     OOO,
@@ -74,6 +75,10 @@ __all__ = [
     "PiranhaChip",
     "PiranhaSystem",
     "default_topology",
+    "PROBE_CLASSES",
+    "ProbeCollector",
+    "TxnProbe",
+    "classify",
     "INO",
     "OOO",
     "PIRANHA_P1",

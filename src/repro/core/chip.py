@@ -80,6 +80,11 @@ class PiranhaChip(Component):
         #: test instead of two when tracing is off
         checker = system.checker
         self.trace = checker.trace if checker is not None else None
+        #: transaction-probe collector (shared, system-wide); cached for
+        #: the same one-attribute-test reason as the trace.  None unless
+        #: PiranhaSystem.enable_probes() ran before the chip was built
+        #: (enable_probes() refreshes this cache when called later).
+        self.probes = system.probes
         self._send_packet_fn: Optional[Callable[[Packet], bool]] = None
         self._cpus_running = 0
         self.c_packets_sent = self.stats.counter("packets_sent")
@@ -169,6 +174,9 @@ class PiranhaChip(Component):
         """An L1 miss leaves the CPU: charge miss detection plus the ICS
         crossing, then hand to the owning L2 bank."""
         bank = self.bank_for(req.addr)
+        if self.probes is not None and req.probe is None:
+            req.probe = self.probes.maybe_attach(
+                req.txn_id, req.cpu_id, self.node_id, reqtype, self.sim.now)
         delay = self.t_l1_detect + self.ics.transfer_delay(16, LANE_LOW)
         self.schedule(delay, bank.request, req, reqtype)
 
@@ -234,12 +242,18 @@ class PiranhaChip(Component):
             # OQ full: retry after a cycle (the paper's flow control).
             self.schedule(2000, self.send_packet, pkt)
             self.c_packets_sent.inc(-1)
+        elif pkt.probe is not None:
+            # stamp only on the accepted offer so backpressure retries
+            # don't inflate the hop count
+            pkt.probe.stamp("pkt_send", self.sim.now)
 
     def deliver_packet(self, pkt: Packet) -> bool:
         """IQ disposition target: steer by packet type (Section 2.6.2)."""
         if self.trace is not None:
             self.trace.record("pkt_recv", self.node_id, line_addr(pkt.addr),
                               f"{pkt.ptype.name} <- node{pkt.src}")
+        if pkt.probe is not None:
+            pkt.probe.stamp("pkt_recv", self.sim.now)
         if pkt.ptype in REPLY_TYPES:
             return self._route_reply(pkt)
         if pkt.ptype in (

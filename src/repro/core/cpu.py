@@ -68,6 +68,11 @@ class CpuCore(Component):
         # accounting (picoseconds)
         self.busy_ps = 0
         self.stall_ps: Dict[ReplySource, int] = {s: 0 for s in ReplySource}
+        #: misses serviced per reply source.  With stall_ps this gives the
+        #: counter-derived mean service latency per source, the anchor the
+        #: probe cross-check in CI compares against (exact for in-order
+        #: cores, where every miss stalls for its full service time).
+        self.stall_counts: Dict[ReplySource, int] = {s: 0 for s in ReplySource}
         self.instructions = 0
         self.refs = 0
         self.misses = 0
@@ -127,6 +132,7 @@ class CpuCore(Component):
         """Zero time/miss accounting (cache state is untouched)."""
         self.busy_ps = 0
         self.stall_ps = {s: 0 for s in ReplySource}
+        self.stall_counts = {s: 0 for s in ReplySource}
         self.instructions = 0
         self.refs = 0
         self.misses = 0
@@ -222,6 +228,7 @@ class InOrderCpu(CpuCore):
 
     def _miss_done(self, latency_ps: int, source: ReplySource) -> None:
         self.stall_ps[source] += latency_ps
+        self.stall_counts[source] += 1
         self._run()
 
 
@@ -320,6 +327,7 @@ class OooCpu(CpuCore):
 
     def _dep_done(self, latency_ps: int, source: ReplySource) -> None:
         hidden = min(latency_ps, self.overlap_ps)
+        self.stall_counts[source] += 1
         self.stall_ps[source] += latency_ps - hidden
         self.busy_ps += hidden
         self.credit_ps += hidden
@@ -327,6 +335,9 @@ class OooCpu(CpuCore):
         self._run()
 
     def _stream_done(self, latency_ps: int, source: ReplySource) -> None:
+        # streaming misses hide their whole latency, so stall_ps stays 0,
+        # but the service count still feeds the per-source mean
+        self.stall_counts[source] += 1
         self.outstanding -= 1
         if getattr(self, "_draining_fence", False) and self.outstanding == 0:
             self._ooo_fence()

@@ -47,6 +47,9 @@ class IntraChipSwitch(Component):
             self.stats.counter("lane_high_transfers"),
         ]
         self.c_conflicts = self.stats.counter("datapath_conflicts")
+        #: picoseconds transfers spent queued for a datapath (only touched
+        #: on the conflict branch, so the uncontended path stays flat)
+        self.a_queue_wait = self.stats.accumulator("datapath_wait_ps")
 
     def transfer_delay(self, size_bytes: int, lane: int = LANE_LOW) -> int:
         """Reserve a datapath and return the total picoseconds until the
@@ -70,6 +73,7 @@ class IntraChipSwitch(Component):
         start = now if now > earliest else earliest
         if start > now:
             self.c_conflicts.inc()
+            self.a_queue_wait.add(start - now)
         cycles = -(-size_bytes // BYTES_PER_CYCLE)  # ceil division
         busy_ps = cycles * self.clock.period_ps
         free[path] = start + busy_ps

@@ -76,6 +76,13 @@ class L1Cache:
         self.n_hits = 0
         self.n_upgrades = 0
 
+    def counters(self) -> dict:
+        """Snapshot of the plain hit/miss counters (the L1 keeps bare ints
+        on its single-cycle lookup path; this is the sampler/export
+        interface to them)."""
+        return {"lookups": self.n_lookups, "hits": self.n_hits,
+                "upgrades": self.n_upgrades}
+
     # -- geometry ----------------------------------------------------------
 
     def _index(self, addr: int) -> int:

@@ -72,8 +72,10 @@ class PendingEntry:
     line: int
     waiters: deque = field(default_factory=deque)
     #: forwarded requests that arrived before our own data (the
-    #: early-forward race of Section 2.5.3) park here
-    deferred_fetches: List[Tuple[bool, Callable]] = field(default_factory=list)
+    #: early-forward race of Section 2.5.3) park here, as
+    #: (invalidate, callback, probe-or-None) triples
+    deferred_fetches: List[Tuple[bool, Callable, object]] = field(
+        default_factory=list)
     #: deferred home-engine lookups (home-side serialisation)
     deferred_lookups: List[Callable] = field(default_factory=list)
 
@@ -164,6 +166,10 @@ class L2Bank(Component):
         """Handle one L1 miss / upgrade for a line mapping to this bank."""
         line = line_addr(req.addr)
         self.c_requests.inc()
+        if req.probe is not None:
+            # re-stamped on every arrival, so conflict-serialisation wait
+            # (pending-entry queueing) is attributed to the bank hop
+            req.probe.stamp("bank", self.now)
         entry = self.pending.get(line)
         if entry is not None:
             self.c_conflicts.inc()
@@ -178,6 +184,8 @@ class L2Bank(Component):
 
     def _after_tag_lookup(self, req: MemRequest, reqtype: RequestType,
                           line: int) -> None:
+        if req.probe is not None:
+            req.probe.stamp("l2_tag", self.now)
         cache_id = CacheId.encode(req.cpu_id, req.is_instr)
         l1_owner = self.dup.l1_owner(line)
         if l1_owner is not None and l1_owner != cache_id:
@@ -242,6 +250,8 @@ class L2Bank(Component):
                    owner_id: int) -> None:
         """Another on-chip L1 owns the line: forward and serve L1-to-L1."""
         delay = self.t_ics + self.t_owner + self.t_ics
+        if req.probe is not None:
+            req.probe.stamp("fwd_owner", self.now + self.t_ics + self.t_owner)
         self.schedule(delay, self._finish_fwd, req, reqtype, line, owner_id)
 
     def _finish_fwd(self, req: MemRequest, reqtype: RequestType, line: int,
@@ -282,6 +292,10 @@ class L2Bank(Component):
     def _serve_l2_hit(self, req: MemRequest, reqtype: RequestType, line: int,
                       l2line: L2Line) -> None:
         delay = self.t_data + self.t_ics
+        if req.probe is not None:
+            # the whole delay is charged in one event, so stamp the data
+            # array completion at its computed (future) time
+            req.probe.stamp("l2_data", self.now + self.t_data)
         self.schedule(delay, self._finish_l2_hit, req, reqtype, line, l2line)
 
     def _finish_l2_hit(self, req: MemRequest, reqtype: RequestType, line: int,
@@ -335,7 +349,7 @@ class L2Bank(Component):
                 return
             if not wants_data:
                 self.c_wh64_data_avoided.inc()
-            res = mc.read_line(line)  # data + in-ECC directory together
+            res = mc.read_line(line, probe=req.probe)  # data + in-ECC directory
             self.schedule(res.critical_word_ps + self.t_ics,
                           self._finish_local_mem, req, reqtype, line,
                           res.critical_word_ps, False)
@@ -381,6 +395,8 @@ class L2Bank(Component):
             if needs_invals:
                 # Eager exclusive grant; the home engine drives the remote
                 # invalidations and gathers the acks in the background.
+                # (no probe: the campaign runs after the eager grant
+                # completed the miss, off its critical path)
                 self.chip.home_engine.deliver_local(
                     "NEW_LOCAL_INVAL", line,
                     req_node=self.chip.node_id, is_local=True,
@@ -411,7 +427,7 @@ class L2Bank(Component):
             "NEW_LOCAL_FETCH", line,
             req_node=self.chip.node_id, is_local=True, owner=direntry.owner,
             fetch_excl=exclusive, dir_entry=direntry, on_fill=on_fill,
-            req_cpu=req.cpu_id,
+            req_cpu=req.cpu_id, probe=req.probe,
         )
 
     # -- remote home ----------------------------------------------------------
@@ -457,7 +473,7 @@ class L2Bank(Component):
         kind = "NEW_READ" if reqtype == RequestType.READ else "NEW_READX"
         self.chip.remote_engine.deliver_local(
             kind, line, req_ptype=ptype, on_fill=on_fill,
-            req_node=self.chip.node_id, req_cpu=req.cpu_id,
+            req_node=self.chip.node_id, req_cpu=req.cpu_id, probe=req.probe,
         )
 
     def _must_wait_for_home(self, line: int) -> bool:
@@ -528,6 +544,8 @@ class L2Bank(Component):
         if self.chip.checker is not None:
             self.chip.checker.on_fill(self.chip.node_id, cache_id, line,
                                       state, version)
+        if req.probe is not None:
+            req.probe.stamp("fill", self.now)
         req.complete(self.now, source)
         if evicted is not None:
             self.chip.route_l1_eviction(cache_id, evicted)
@@ -545,8 +563,8 @@ class L2Bank(Component):
         self._engine_holds.discard(line)
         if entry is None:
             return
-        for inval, fetch_cb in entry.deferred_fetches:
-            self._do_fetch_for_fwd(line, inval, fetch_cb)
+        for inval, fetch_cb, fetch_probe in entry.deferred_fetches:
+            self._do_fetch_for_fwd(line, inval, fetch_cb, fetch_probe)
         for lookup_cb in entry.deferred_lookups:
             self.schedule(0, lookup_cb)
         for waiter_req, waiter_type in entry.waiters:
@@ -699,7 +717,7 @@ class L2Bank(Component):
     # -----------------------------------------------------------------------
 
     def service_home_lookup(self, line: int, exclusive: bool, req_node: int,
-                            on_done: Callable) -> None:
+                            on_done: Callable, probe=None) -> None:
         """Home engine asks: gather the line's data + directory, resolving
         on-chip copies at the home node (downgrading for reads,
         invalidating for exclusive requests).
@@ -717,13 +735,13 @@ class L2Bank(Component):
         if pend is not None:
             pend.deferred_lookups.append(
                 lambda: self.service_home_lookup(line, exclusive, req_node,
-                                                 on_done)
+                                                 on_done, probe)
             )
             return
         self.pending[line] = PendingEntry(line)
         self._engine_holds.add(line)
         mc = self.chip.mc_for_bank(self.bank_idx)
-        res = mc.read_line(line)
+        res = mc.read_line(line, probe=probe)
         delay = self.t_tag + res.critical_word_ps
 
         def finish() -> None:
@@ -771,7 +789,7 @@ class L2Bank(Component):
         self.schedule(delay, finish)
 
     def service_fetch_for_fwd(self, line: int, inval: bool,
-                              on_done: Callable) -> None:
+                              on_done: Callable, probe=None) -> None:
         """Remote engine asks for the data of a remote-home line we own, to
         service a forwarded request.  Guaranteed serviceable: the data is
         in an L1, the L2, or the write-back buffer; if our own fill is
@@ -781,15 +799,16 @@ class L2Bank(Component):
             # The buffered copy is valid regardless of any pending local
             # request (which may itself be the one this forward services —
             # deferring here would deadlock the pair).
-            self._do_fetch_for_fwd(line, inval, on_done)
+            self._do_fetch_for_fwd(line, inval, on_done, probe)
             return
         pend = self.pending.get(line)
         if pend is not None:
-            pend.deferred_fetches.append((inval, on_done))
+            pend.deferred_fetches.append((inval, on_done, probe))
             return
-        self._do_fetch_for_fwd(line, inval, on_done)
+        self._do_fetch_for_fwd(line, inval, on_done, probe)
 
-    def _do_fetch_for_fwd(self, line: int, inval: bool, on_done: Callable) -> None:
+    def _do_fetch_for_fwd(self, line: int, inval: bool, on_done: Callable,
+                          probe=None) -> None:
         version: Optional[int] = None
         l1_owner = self.dup.l1_owner(line)
         delay = self.t_tag
@@ -820,6 +839,8 @@ class L2Bank(Component):
                 f"{self.name}: forwarded request for {line:#x} found no "
                 f"data — the no-NAK guarantee was violated"
             )
+        if probe is not None:
+            probe.stamp("owner_fetch", self.now + delay)
         if inval:
             self._invalidate_on_chip(line, except_cache=None)
             self._drop_l2_copy(line, self._l2_line(line))

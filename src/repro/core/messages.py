@@ -100,11 +100,17 @@ class MemRequest:
     issue_time: int = 0
     #: filled in when the request completes (for tracing/tests)
     source: Optional[ReplySource] = None
+    #: sampled-latency probe riding this transaction; None for the other
+    #: N-1 of every N misses (and always when probes are disabled), so
+    #: every instrumentation point guards with ``if probe is not None``
+    probe: Optional[object] = None
 
     def complete(self, now_ps: int, source: ReplySource) -> None:
         if self.source is not None:
             raise RuntimeError(f"request {self.txn_id} completed twice")
         self.source = source
+        if self.probe is not None:
+            self.probe.finish(now_ps, source)
         self.done(now_ps - self.issue_time, source)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -158,6 +158,7 @@ class ProtocolEngine(Component):
                 sharing=pkt.info.get("sharing", False),
                 chain=tuple(pkt.info.get("chain", ())),
                 is_local=False,
+                probe=pkt.probe,
             )
         except TsrfFullError:
             self.c_tsrf_stalls.inc()
@@ -239,6 +240,11 @@ class ProtocolEngine(Component):
                    else " new-thread"))
         self.tw_tsrf.set(self.now, self.tsrf.occupancy())
         start_at = max(0, self.busy_until - self.now)
+        probe = entry.vars.get("probe")
+        if probe is not None:
+            # stamped at the (possibly future) execution-unit grant time,
+            # so engine-occupancy queueing shows up in the dispatch hop
+            probe.stamp("pe_dispatch", self.now + start_at)
         self.busy_until = max(self.busy_until, self.now) + self.INSTR_PS
         self.schedule(start_at, self._execute, entry, dispatch_code)
 
@@ -285,6 +291,7 @@ class ProtocolEngine(Component):
         pkt = Packet(
             ptype=ptype, src=self.chip.node_id, dst=dst, addr=entry.addr,
             txn_id=entry.index, info=info,
+            probe=entry.vars.get("probe"),
         )
         self._effect(entry, self.chip.send_packet, pkt)
 
@@ -371,7 +378,8 @@ class ProtocolEngine(Component):
             def on_data(version: int) -> None:
                 self.resume_entry(entry, "BANK_DATA", version=version)
 
-            self._effect(entry, bank.service_fetch_for_fwd, addr, inval, on_data)
+            self._effect(entry, bank.service_fetch_for_fwd, addr, inval,
+                         on_data, entry.vars.get("probe"))
 
         def data_reply_to_requester(entry: TsrfEntry) -> None:
             self._send(entry, PacketType.DATA_REPLY,
@@ -468,7 +476,8 @@ class ProtocolEngine(Component):
                 )
 
             self._effect(entry, bank.service_home_lookup, addr, exclusive,
-                         entry.vars["req_node"], on_done)
+                         entry.vars["req_node"], on_done,
+                         entry.vars.get("probe"))
 
         def data_reply(entry: TsrfEntry) -> None:
             self._send(entry, PacketType.DATA_REPLY, entry.vars["req_node"],

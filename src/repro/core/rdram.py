@@ -70,7 +70,8 @@ class RdramChannel(Component):
 
     # -- access ------------------------------------------------------------
 
-    def access(self, addr: int, is_write: bool = False) -> MemAccessResult:
+    def access(self, addr: int, is_write: bool = False,
+               probe=None) -> MemAccessResult:
         """Perform one line read/write; returns its timing."""
         now = self.now
         self.c_accesses.inc()
@@ -104,6 +105,11 @@ class RdramChannel(Component):
 
         # Keep the page open for ~1 us from this access.
         self._open_pages[(device, bank)] = (page, now + self.keep_open_ps)
+        if probe is not None:
+            # whole access charged in one event: stamp the critical word
+            # at its computed future time (channel queueing included)
+            probe.stamp("mem_data", now + critical)
+            probe.note("dram_page_hit", page_hit)
         return MemAccessResult(critical_word_ps=critical, line_done_ps=done,
                                page_hit=page_hit)
 
@@ -149,9 +155,16 @@ class MemoryController(Component):
         line = addr >> 6
         return ((line >> self._bank_bits) << 6) | (addr & 63)
 
-    def read_line(self, addr: int) -> MemAccessResult:
+    def read_line(self, addr: int, probe=None) -> MemAccessResult:
         """Read a line (data + in-ECC directory bits arrive together)."""
-        res = self.channel.access(self._channel_addr(addr), is_write=False)
+        res = self.channel.access(self._channel_addr(addr), is_write=False,
+                                  probe=probe)
+        if probe is not None:
+            # shift the channel's critical-word stamp by the MC overhead
+            # so the mem_data hop covers engine + RAC + DRAM end-to-end
+            label, t = probe.stamps[-1]
+            if label == "mem_data":
+                probe.stamps[-1] = (label, t + self.t_overhead)
         return MemAccessResult(
             critical_word_ps=res.critical_word_ps + self.t_overhead,
             line_done_ps=res.line_done_ps + self.t_overhead,

@@ -70,6 +70,11 @@ class PiranhaSystem:
         self._audit_interval_ps: Optional[int] = None
         self._audit_tsrf_timeout_ps: Optional[int] = None
         self.continuous_audits = 0
+        #: transaction-probe collector (see :mod:`repro.core.probe`); must
+        #: exist before chips are built — each chip caches a reference
+        self.probes = None
+        #: interval time-series sampler (see :mod:`repro.sim.sampler`)
+        self.sampler = None
         #: authoritative memory image: line -> committed version
         self.mem_versions: Dict[int, int] = {}
         self.dirstores: List[DirectoryStore] = [
@@ -111,7 +116,10 @@ class PiranhaSystem:
             node.start_cpus()
             self._running_cpus += node.cpus_running
         if self._audit_interval_ps and self._running_cpus:
-            self.sim.schedule(self._audit_interval_ps, self._continuous_audit)
+            self.sim.schedule_every(self._audit_interval_ps,
+                                    self._continuous_audit)
+        if self.sampler is not None and self._running_cpus:
+            self.sampler.start()
 
     def cpu_warmed_up(self, node_id: int, cpu_id: int) -> None:
         """A CPU crossed its warm-up boundary; once all have, shared-module
@@ -125,6 +133,10 @@ class PiranhaSystem:
         # Time-weighted trackers are anchored at *now* so warm-up
         # occupancy area cannot pollute the steady-state means.
         now = self.sim.now
+        if self.sampler is not None:
+            # close the in-flight interval while the counters still hold
+            # their pre-reset values (true deltas for the partial record)
+            self.sampler.flush()
         for node in self.nodes:
             for bank in node.banks:
                 bank.stats.reset_all(now)
@@ -136,6 +148,15 @@ class PiranhaSystem:
             node.remote_engine.stats.reset_all(now)
         for router in self.routers.values():
             router.stats.reset_all(now)
+        if self.probes is not None:
+            # probe classes/histograms should cover steady state only,
+            # matching the counter-derived means they cross-check against
+            self.probes.reset()
+        if self.sampler is not None:
+            # the time series deliberately keeps its pre-reset history
+            # (warm-up detection needs the ramp); it just re-baselines
+            # and flags the interval containing the reset
+            self.sampler.note_reset()
 
     def cpu_finished(self, node_id: int, cpu_id: int) -> None:
         self._running_cpus -= 1
@@ -151,6 +172,8 @@ class PiranhaSystem:
             raise RuntimeError(
                 f"simulation stalled with {self._running_cpus} CPUs running"
             )
+        if self.sampler is not None:
+            self.sampler.finalize()
         return max(
             (cpu.finish_time or 0)
             for node in self.nodes for cpu in node.cpus
@@ -176,14 +199,13 @@ class PiranhaSystem:
         self._audit_interval_ps = interval_ps
         self._audit_tsrf_timeout_ps = tsrf_timeout_ps
 
-    def _continuous_audit(self) -> None:
+    def _continuous_audit(self) -> bool:
         audit_system(self, quiesced=False,
                      tsrf_timeout_ps=self._audit_tsrf_timeout_ps)
         self.continuous_audits += 1
-        if self._running_cpus > 0:
-            # stop rescheduling once the workload finishes, so the event
-            # queue can drain (verify() covers the end state)
-            self.sim.schedule(self._audit_interval_ps, self._continuous_audit)
+        # stop rescheduling once the workload finishes, so the event
+        # queue can drain (verify() covers the end state)
+        return self._running_cpus > 0
 
     def verify(self, quiesced: bool = True) -> Dict[str, float]:
         """Run the full sanitizer audit set (checker quiesce invariants +
@@ -193,6 +215,126 @@ class PiranhaSystem:
         telemetry = audit_system(self, quiesced=quiesced)
         telemetry["audit_continuous_runs"] = float(self.continuous_audits)
         return telemetry
+
+    # -- observability -----------------------------------------------------------
+
+    def enable_probes(self, rate: int, max_samples: int = 64) -> None:
+        """Attach a :class:`~repro.core.probe.ProbeCollector` sampling one
+        of every *rate* L1 misses.  Chips cache the collector reference at
+        construction, so enabling after the system is built refreshes each
+        chip's cache; the untagged hot path stays a single ``is None``
+        test either way."""
+        from .probe import ProbeCollector
+
+        self.probes = ProbeCollector(rate, max_samples=max_samples)
+        for node in self.nodes:
+            node.probes = self.probes
+
+    def enable_sampler(self, interval_ps: int) -> None:
+        """Attach an :class:`~repro.sim.sampler.IntervalSampler` that
+        snapshots :meth:`sample_counters` every *interval_ps* of simulated
+        time while the workload runs (started by :meth:`start`)."""
+        from ..sim.sampler import IntervalSampler
+
+        self.sampler = IntervalSampler(
+            self.sim,
+            interval_ps,
+            collect_counters=self.sample_counters,
+            collect_gauges=self.sample_gauges,
+            derive=self._sample_derive,
+            running=lambda: self._running_cpus > 0,
+        )
+
+    def sample_counters(self) -> Dict[str, float]:
+        """Flat monotonic-counter snapshot across the whole system — the
+        interval sampler diffs consecutive snapshots into per-interval
+        activity (instructions, misses, bytes moved, DRAM traffic...)."""
+        c: Dict[str, float] = {
+            "instructions": 0, "busy_ps": 0, "stall_ps": 0,
+            "l1_lookups": 0, "l1_hits": 0, "l1_upgrades": 0,
+            "l2_requests": 0, "l2_hits": 0, "l2_fwds": 0,
+            "l2_local_mem": 0, "l2_remote_mem": 0, "l2_remote_dirty": 0,
+            "l2_upgrades": 0, "l2_conflicts": 0,
+            "ics_transfers": 0, "ics_bytes": 0, "ics_conflicts": 0,
+            "mem_accesses": 0, "mem_reads": 0, "mem_writes": 0,
+            "mem_page_hits": 0,
+            "engine_instructions": 0, "engine_threads": 0,
+            "engine_tsrf_stalls": 0,
+            "packets_sent": 0,
+            "router_transit": 0, "router_delivered": 0,
+            "router_misroutes": 0, "router_bytes": 0,
+        }
+        for node in self.nodes:
+            for cpu in node.cpus:
+                c["instructions"] += cpu.instructions
+                c["busy_ps"] += cpu.busy_ps
+                c["stall_ps"] += sum(cpu.stall_ps.values())
+            for l1 in list(node.l1i) + list(node.l1d):
+                snap = l1.counters()
+                c["l1_lookups"] += snap["lookups"]
+                c["l1_hits"] += snap["hits"]
+                c["l1_upgrades"] += snap["upgrades"]
+            for bank in node.banks:
+                c["l2_requests"] += bank.c_requests.value
+                c["l2_hits"] += bank.c_hits.value
+                c["l2_fwds"] += bank.c_fwds.value
+                c["l2_local_mem"] += bank.c_local_mem.value
+                c["l2_remote_mem"] += bank.c_remote_mem.value
+                c["l2_remote_dirty"] += bank.c_remote_dirty.value
+                c["l2_upgrades"] += bank.c_upgrades.value
+                c["l2_conflicts"] += bank.c_conflicts.value
+            ics = node.ics
+            c["ics_transfers"] += ics.c_transfers.value
+            c["ics_bytes"] += ics.c_bytes.value
+            c["ics_conflicts"] += ics.c_conflicts.value
+            for mc in node.mcs:
+                ch = mc.channel
+                c["mem_accesses"] += ch.c_accesses.value
+                c["mem_reads"] += ch.c_reads.value
+                c["mem_writes"] += ch.c_writes.value
+                c["mem_page_hits"] += ch.c_page_hits.value
+            for engine in (node.home_engine, node.remote_engine):
+                c["engine_instructions"] += engine.c_instructions.value
+                c["engine_threads"] += engine.c_threads.value
+                c["engine_tsrf_stalls"] += engine.c_tsrf_stalls.value
+            c["packets_sent"] += node.c_packets_sent.value
+        for router in self.routers.values():
+            c["router_transit"] += router.c_transit.value
+            c["router_delivered"] += router.c_delivered.value
+            c["router_misroutes"] += router.c_misroutes.value
+            c["router_bytes"] += router.c_bytes.value
+        return c
+
+    def sample_gauges(self) -> Dict[str, float]:
+        """Instantaneous levels (not diffed): TSRF occupancy and DRAM
+        open-page population at the sample instant."""
+        tsrf = 0.0
+        pages = 0
+        for node in self.nodes:
+            tsrf += node.home_engine.tw_tsrf.level
+            tsrf += node.remote_engine.tw_tsrf.level
+            for mc in node.mcs:
+                pages += mc.channel.open_page_count()
+        return {"tsrf_occupancy": tsrf, "dram_open_pages": float(pages)}
+
+    def _sample_derive(self, d: Dict[str, float], dt_ps: int) -> Dict[str, float]:
+        """Per-interval rates derived from one delta record."""
+        def ratio(num: float, den: float) -> float:
+            return num / den if den else 0.0
+
+        ncpus = sum(1 for _ in self.all_cpus()) or 1
+        period_ps = int(round(1e6 / self.config.core.clock_mhz))
+        cycles = dt_ps / period_ps * ncpus
+        us = dt_ps / 1e6
+        return {
+            "ipc": ratio(d["instructions"], cycles),
+            "l1_miss_rate": 1.0 - ratio(d["l1_hits"], d["l1_lookups"])
+            if d["l1_lookups"] else 0.0,
+            "l2_hit_rate": ratio(d["l2_hits"], d["l2_requests"]),
+            "dram_page_hit_rate": ratio(d["mem_page_hits"], d["mem_accesses"]),
+            "ics_bytes_per_us": ratio(d["ics_bytes"], us),
+            "router_bytes_per_us": ratio(d["router_bytes"], us),
+        }
 
     # -- aggregate statistics ---------------------------------------------------
 

@@ -48,6 +48,8 @@ class Job:
     check_coherence: bool = False
     cache_key_extra: tuple = ()
     trace_capacity: int = 0
+    probe_rate: int = 0
+    sample_interval_ps: int = 0
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -68,10 +70,12 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
 def _execute(job: Job) -> RunResult:
     """Worker-side entry: plain simulation.  Cache reads and writes stay
     in the parent so workers never race on the cache directory.  The
-    sanitizer telemetry lives in ``RunResult.extras``, so it rides the
-    pickle back to the parent like any other field."""
+    sanitizer telemetry and the metrics document both live in
+    ``RunResult.extras``, so they ride the pickle back to the parent
+    like any other field."""
     return simulate(job.config, job.factory, job.num_nodes, job.units_attr,
-                    job.check_coherence, job.trace_capacity)
+                    job.check_coherence, job.trace_capacity,
+                    job.probe_rate, job.sample_interval_ps)
 
 
 def _run_serial(job: Job) -> RunResult:
@@ -80,6 +84,8 @@ def _run_serial(job: Job) -> RunResult:
         units_attr=job.units_attr, check_coherence=job.check_coherence,
         cache_key_extra=job.cache_key_extra,
         trace_capacity=job.trace_capacity,
+        probe_rate=job.probe_rate,
+        sample_interval_ps=job.sample_interval_ps,
     )
 
 
@@ -106,7 +112,8 @@ def run_jobs(jobs_list: Sequence[Job], jobs: Optional[int] = None) -> List[RunRe
     for i, job in enumerate(jobs_list):
         cached = cached_result(
             job.config, job.factory, job.num_nodes, job.units_attr,
-            job.check_coherence, job.cache_key_extra, job.trace_capacity)
+            job.check_coherence, job.cache_key_extra, job.trace_capacity,
+            job.probe_rate, job.sample_interval_ps)
         if cached is not None:
             results[i] = cached
         else:
@@ -129,7 +136,8 @@ def run_jobs(jobs_list: Sequence[Job], jobs: Optional[int] = None) -> List[RunRe
                 job = jobs_list[i]
                 store_result(result, job.config, job.factory, job.num_nodes,
                              job.units_attr, job.check_coherence,
-                             job.cache_key_extra, job.trace_capacity)
+                             job.cache_key_extra, job.trace_capacity,
+                             job.probe_rate, job.sample_interval_ps)
                 results[i] = result
 
     for i in serial_idx:

@@ -12,13 +12,17 @@ flag and handy in notebooks::
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from .report import format_table
 
 
-def node_report(node) -> Dict[str, object]:
-    """Collect one node's performance counters."""
+def node_report(node, now_ps: Optional[int] = None) -> Dict[str, object]:
+    """Collect one node's performance counters.
+
+    Pass *now_ps* (usually ``system.sim.now``) to also include
+    time-weighted means — quantities like TSRF occupancy need the end of
+    the measurement window to close their last integration segment."""
     cpus = []
     for cpu in node.cpus:
         total = cpu.total_ps or 1
@@ -63,12 +67,15 @@ def node_report(node) -> Dict[str, object]:
     }
     engines = {}
     for engine in (node.home_engine, node.remote_engine):
-        engines[engine.name.split(".")[-1]] = {
+        block = {
             "threads": engine.c_threads.value,
             "instructions": engine.c_instructions.value,
             "tsrf_high_water": engine.tsrf.high_water,
             "tsrf_stalls": engine.c_tsrf_stalls.value,
         }
+        if now_ps is not None:
+            block["tsrf_mean_occupancy"] = engine.tw_tsrf.mean(now_ps)
+        engines[engine.name.split(".")[-1]] = block
     return {
         "node": node.name,
         "cpus": cpus,
@@ -81,9 +88,9 @@ def node_report(node) -> Dict[str, object]:
     }
 
 
-def system_report(system) -> List[Dict[str, object]]:
+def system_report(system, now_ps: Optional[int] = None) -> List[Dict[str, object]]:
     """Per-node reports for a whole system."""
-    return [node_report(node) for node in system.nodes]
+    return [node_report(node, now_ps=now_ps) for node in system.nodes]
 
 
 def _avg(values) -> float:

@@ -71,7 +71,10 @@ class RunResult:
     miss_fwd_frac: float         # ... by another on-chip L1
     miss_mem_frac: float         # ... by local/remote memory
     sim_wall_s: float = 0.0
-    extras: Dict[str, float] = field(default_factory=dict)
+    #: harness telemetry and structured payloads (sanitizer counters,
+    #: the "metrics" document from the observability layer); values are
+    #: floats or JSON-shaped nested dicts — everything pickles/serialises
+    extras: Dict[str, object] = field(default_factory=dict)
 
     @property
     def normalized_breakdown(self) -> Tuple[float, float, float]:
@@ -151,6 +154,18 @@ def _trace_key_extra(cache_key_extra: tuple, trace_capacity: int) -> tuple:
     return cache_key_extra + (("trace", trace_capacity),)
 
 
+def _obs_key_extra(cache_key_extra: tuple, probe_rate: int,
+                   sample_interval_ps: int) -> tuple:
+    """Fold the observability settings into the cache discriminator: a
+    probed/sampled run carries the ``metrics`` document in its extras,
+    so it must not answer (or be answered by) an unprobed cache entry."""
+    if probe_rate:
+        cache_key_extra = cache_key_extra + (("probes", probe_rate),)
+    if sample_interval_ps:
+        cache_key_extra = cache_key_extra + (("sample", sample_interval_ps),)
+    return cache_key_extra
+
+
 def simulate(
     config: ChipConfig,
     workload_factory: Callable[[ChipConfig, int], object],
@@ -158,6 +173,8 @@ def simulate(
     units_attr: str = "transactions",
     check_coherence: bool = False,
     trace_capacity: int = 0,
+    probe_rate: int = 0,
+    sample_interval_ps: int = 0,
 ) -> RunResult:
     """Run one simulation point, uncached.
 
@@ -174,6 +191,11 @@ def simulate(
     ``trace_capacity`` additionally attaches a ring-buffered protocol
     trace of that many events; violations then carry the per-line event
     history.
+
+    ``probe_rate=N`` tags one of every N L1 misses with a latency probe,
+    and ``sample_interval_ps`` attaches the interval time-series sampler;
+    either one makes the structured metrics document appear in
+    ``extras["metrics"]`` (see :mod:`repro.harness.metrics`).
     """
     workload = workload_factory(config, num_nodes)
     checker = None
@@ -184,6 +206,10 @@ def simulate(
     system.attach_workload(workload)
     if check_coherence:
         system.enable_continuous_audit()
+    if probe_rate:
+        system.enable_probes(probe_rate)
+    if sample_interval_ps:
+        system.enable_sampler(sample_interval_ps)
     wall0 = time.time()
     system.run_to_completion()
     wall = time.time() - wall0
@@ -202,7 +228,7 @@ def simulate(
     mb = system.miss_breakdown()
     misses = sum(mb.values()) or 1
 
-    return RunResult(
+    result = RunResult(
         config=config.name,
         cpus=config.cpus,
         nodes=num_nodes,
@@ -219,6 +245,14 @@ def simulate(
         sim_wall_s=wall,
         extras=dict(sanitizer),
     )
+    if probe_rate or sample_interval_ps:
+        from .metrics import metrics_doc
+
+        # deterministic (simulation-state-only), so it is safe to cache
+        # and identical across the serial and ProcessPool paths
+        result.extras["metrics"] = metrics_doc(
+            system, result, probe_rate, sample_interval_ps)
+    return result
 
 
 def _attach_telemetry(result: RunResult) -> RunResult:
@@ -236,11 +270,15 @@ def cached_result(
     check_coherence: bool = False,
     cache_key_extra: tuple = (),
     trace_capacity: int = 0,
+    probe_rate: int = 0,
+    sample_interval_ps: int = 0,
 ) -> Optional[RunResult]:
     """Memo/disk lookup for one point; None on miss (or caching off)."""
     if not cache_enabled():
         return None
     cache_key_extra = _trace_key_extra(cache_key_extra, trace_capacity)
+    cache_key_extra = _obs_key_extra(cache_key_extra, probe_rate,
+                                     sample_interval_ps)
     memo_key = _memo_key(config, workload_factory, num_nodes, units_attr,
                          check_coherence, cache_key_extra)
     result = _MEMO.get(memo_key)
@@ -264,11 +302,15 @@ def store_result(
     check_coherence: bool = False,
     cache_key_extra: tuple = (),
     trace_capacity: int = 0,
+    probe_rate: int = 0,
+    sample_interval_ps: int = 0,
 ) -> None:
     """Record a freshly simulated point in the memo and disk caches."""
     if not cache_enabled():
         return
     cache_key_extra = _trace_key_extra(cache_key_extra, trace_capacity)
+    cache_key_extra = _obs_key_extra(cache_key_extra, probe_rate,
+                                     sample_interval_ps)
     _MEMO.put(_memo_key(config, workload_factory, num_nodes, units_attr,
                         check_coherence, cache_key_extra), result)
     DISK_CACHE.put(
@@ -284,16 +326,21 @@ def run_configured(
     check_coherence: bool = False,
     cache_key_extra: tuple = (),
     trace_capacity: int = 0,
+    probe_rate: int = 0,
+    sample_interval_ps: int = 0,
 ) -> RunResult:
     """Simulate one explicit configuration, with two-level caching."""
     cached = cached_result(config, workload_factory, num_nodes, units_attr,
-                           check_coherence, cache_key_extra, trace_capacity)
+                           check_coherence, cache_key_extra, trace_capacity,
+                           probe_rate, sample_interval_ps)
     if cached is not None:
         return cached
     result = simulate(config, workload_factory, num_nodes, units_attr,
-                      check_coherence, trace_capacity)
+                      check_coherence, trace_capacity, probe_rate,
+                      sample_interval_ps)
     store_result(result, config, workload_factory, num_nodes, units_attr,
-                 check_coherence, cache_key_extra, trace_capacity)
+                 check_coherence, cache_key_extra, trace_capacity,
+                 probe_rate, sample_interval_ps)
     return _attach_telemetry(result)
 
 
@@ -305,6 +352,8 @@ def run_workload(
     check_coherence: bool = False,
     cache_key_extra: tuple = (),
     trace_capacity: int = 0,
+    probe_rate: int = 0,
+    sample_interval_ps: int = 0,
 ) -> RunResult:
     """Simulate one preset configuration under one workload.
 
@@ -315,4 +364,5 @@ def run_workload(
         preset(config_name), workload_factory, num_nodes=num_nodes,
         units_attr=units_attr, check_coherence=check_coherence,
         cache_key_extra=cache_key_extra, trace_capacity=trace_capacity,
+        probe_rate=probe_rate, sample_interval_ps=sample_interval_ps,
     )

@@ -126,6 +126,10 @@ class Packet:
     route: tuple = ()
     info: dict = field(default_factory=dict)
     inject_time: int = 0
+    #: sampled-latency probe riding the owning transaction (model-level
+    #: bookkeeping like ``info``; excluded from wire-size accounting).
+    #: Almost always None — instrumentation guards with ``is not None``.
+    probe: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.lane is None:

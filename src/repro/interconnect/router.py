@@ -94,6 +94,9 @@ class Router(Component):
         self.c_injected = self.stats.counter("injected_packets")
         self.c_delivered = self.stats.counter("delivered_packets")
         self.c_misroutes = self.stats.counter("misroutes")
+        #: wire bytes transmitted on this router's outgoing links (header
+        #: + data sections) — the interval sampler's router-traffic series
+        self.c_bytes = self.stats.counter("transmitted_bytes")
         self.a_hops = self.stats.accumulator("delivered_age")
         self.a_latency = self.stats.accumulator("delivered_latency_ps")
         oq.attach_router(self._kick)
@@ -179,6 +182,11 @@ class Router(Component):
         arrival = link.send(self.now, pkt)
         self.buffered -= 1
         self.c_transit.inc()
+        self.c_bytes.inc(pkt.size_bits // 8)
+        if pkt.probe is not None:
+            # one stamp per link hop, at the far-end arrival time, so
+            # multi-hop flight shows up as accumulated pkt_transit time
+            pkt.probe.stamp("pkt_transit", arrival)
         peer = self.peers[neighbor]
         self.schedule(arrival - self.now, peer._arrive, pkt)
 

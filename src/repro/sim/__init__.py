@@ -2,9 +2,11 @@
 
 from .engine import PS_PER_NS, Clock, Component, EventHandle, Simulator, ns
 from .rng import derive_seed, substream
+from .sampler import IntervalSampler
 from .stats import Accumulator, Counter, Histogram, StatGroup, TimeWeighted
 
 __all__ = [
+    "IntervalSampler",
     "PS_PER_NS",
     "Clock",
     "Component",

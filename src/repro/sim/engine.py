@@ -134,6 +134,28 @@ class Simulator:
         self._seq += 1
         return handle
 
+    def schedule_every(self, interval_ps: int,
+                       fn: Callable[[], Any]) -> EventHandle:
+        """Run ``fn()`` every *interval_ps*, starting one interval from
+        now, for as long as it returns a truthy value.
+
+        Used for periodic observers (the interval telemetry sampler, the
+        continuous protocol audit) that must stop rescheduling once the
+        simulation goes quiescent — a perpetual timer would keep the
+        event queue alive forever under run-to-drain.  Returns the handle
+        for the first tick; cancelling it stops the timer only until the
+        next reschedule, so observers should stop via their return value.
+        """
+        if interval_ps <= 0:
+            raise ValueError(
+                f"repeat interval must be positive, got {interval_ps}")
+
+        def _tick() -> None:
+            if fn():
+                self.schedule(interval_ps, _tick)
+
+        return self.schedule(interval_ps, _tick)
+
     def schedule_at(self, time_ps: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` at absolute time ``time_ps``."""
         if time_ps < self.now:

@@ -8,6 +8,7 @@ miss decompositions that the paper's Figures 5 and 6 report.
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from typing import Dict, Iterable, List, Optional
 
 
@@ -91,12 +92,32 @@ class Histogram:
         self.samples = 0
 
     def add(self, value: float) -> None:
+        # bisect_right finds the first edge > value, which is exactly the
+        # bin index for the [edges[i-1], edges[i]) convention above.
         self.samples += 1
+        self.bins[bisect_right(self.edges, value)] += 1
+
+    def reset(self) -> None:
+        self.bins = [0] * (len(self.edges) + 1)
+        self.samples = 0
+
+    def percentile(self, q: float) -> float:
+        """Upper bound on the q-quantile (``0 <= q <= 1``): the smallest
+        bin edge with cumulative sample fraction >= *q*.  Returns
+        ``float("inf")`` when the quantile falls in the overflow bin and
+        ``0.0`` when the histogram is empty — callers exporting JSON
+        should map non-finite values themselves."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if self.samples == 0:
+            return 0.0
+        need = q * self.samples
+        cum = 0
         for i, edge in enumerate(self.edges):
-            if value < edge:
-                self.bins[i] += 1
-                return
-        self.bins[-1] += 1
+            cum += self.bins[i]
+            if cum >= need:
+                return edge
+        return float("inf")
 
     def fraction_below(self, edge: float) -> float:
         """Fraction of samples strictly below *edge* (must be a bin edge)."""
@@ -232,16 +253,19 @@ class StatGroup:
         post-reset time-weighted mean.
         """
         for stat in self._stats.values():
-            if isinstance(stat, (Counter, Accumulator)):
-                stat.reset()
-            elif isinstance(stat, Histogram):
-                stat.bins = [0] * len(stat.bins)
-                stat.samples = 0
-            elif isinstance(stat, TimeWeighted):
+            if isinstance(stat, TimeWeighted):
                 stat.reset(now_ps)
+            else:
+                stat.reset()
 
-    def as_dict(self) -> Dict[str, object]:
-        """Flatten to plain numbers for reporting."""
+    def as_dict(self, now_ps: Optional[int] = None) -> Dict[str, object]:
+        """Flatten to plain numbers for reporting.
+
+        Pass *now_ps* to close the measurement window of any
+        :class:`TimeWeighted` trackers: their time-weighted ``mean`` is
+        only defined up to a point in time, so it is emitted only when
+        the caller provides one.
+        """
         out: Dict[str, object] = {}
         for name, stat in self._stats.items():
             if isinstance(stat, Counter):
@@ -255,9 +279,15 @@ class StatGroup:
                     "max": stat.max,
                 }
             elif isinstance(stat, Histogram):
-                out[name] = {"samples": stat.samples, "bins": list(stat.bins)}
+                out[name] = {"samples": stat.samples,
+                             "edges": list(stat.edges),
+                             "bins": list(stat.bins)}
             elif isinstance(stat, TimeWeighted):
-                out[name] = {"peak": stat.peak}
+                tw: Dict[str, object] = {"peak": stat.peak,
+                                         "level": stat.level}
+                if now_ps is not None:
+                    tw["mean"] = stat.mean(now_ps)
+                out[name] = tw
         return out
 
     def __repr__(self) -> str:  # pragma: no cover

@@ -1,0 +1,355 @@
+"""Observability layer: transaction probes, interval sampler, metrics.
+
+Covers the PR's acceptance criteria:
+
+* probe hop decompositions partition the end-to-end latency exactly
+  (hop-sum invariant) on every retained sample,
+* probe-measured per-source latency means agree with the fully
+  independent CPU stall accounting (exact-ish at probe rate 1 on
+  in-order cores),
+* the interval sampler produces a monotone, reset-flagged series with
+  non-negative deltas and a final partial interval,
+* the metrics document validates against its schema, is deterministic,
+  and is identical through the serial, parallel (ProcessPool) and
+  cached execution paths,
+* cache keys fold the observability settings (a probed run never
+  answers an unprobed lookup and vice versa).
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core import PiranhaSystem, ProbeCollector, classify, preset
+from repro.core.messages import ReplySource, RequestType
+from repro.core.probe import TxnProbe
+from repro.harness import Job, MigratoryFactory, clear_cache, run_jobs
+from repro.harness.metrics import (
+    counter_latency_ns,
+    metrics_doc,
+    timeseries_csv,
+    validate_metrics,
+)
+from repro.harness.runner import run_configured, simulate
+from repro.sim import IntervalSampler, Simulator
+from repro.workloads import MicroParams, OltpParams, OltpWorkload
+
+TINY_OLTP = OltpParams(transactions=6, warmup_transactions=8)
+TINY_MICRO = MicroParams(iterations=120, warmup=30)
+
+
+@pytest.fixture(autouse=True)
+def isolated_caches(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def run_probed(rate=1, interval_ps=20_000_000, nodes=1, config="P2"):
+    cfg = preset(config)
+    system = PiranhaSystem(cfg, num_nodes=nodes)
+    system.enable_probes(rate)
+    if interval_ps:
+        system.enable_sampler(interval_ps)
+    system.attach_workload(OltpWorkload(TINY_OLTP, cpus_per_node=cfg.cpus,
+                                        num_nodes=nodes))
+    system.run_to_completion()
+    return system
+
+
+class TestTxnProbe:
+    def _probe(self):
+        collector = ProbeCollector(1)
+        probe = collector.maybe_attach(7, 0, 0, RequestType.READ, 100)
+        assert probe is not None
+        return collector, probe
+
+    def test_hop_decomposition_partitions_latency(self):
+        _, probe = self._probe()
+        probe.stamp("bank", 150)
+        probe.stamp("l2_tag", 180)
+        probe.stamp("mem_data", 400)
+        probe.stamp("fill", 410)
+        hops = probe.hop_decomposition()
+        assert hops == {"bank": 50, "l2_tag": 30, "mem_data": 220,
+                        "fill": 10}
+        assert sum(hops.values()) == probe.latency_ps() == 310
+
+    def test_repeated_labels_accumulate(self):
+        _, probe = self._probe()
+        probe.stamp("pkt_transit", 200)
+        probe.stamp("pkt_transit", 350)
+        assert probe.hop_decomposition() == {"pkt_transit": 250}
+
+    def test_stamps_after_finish_dropped(self):
+        _, probe = self._probe()
+        probe.stamp("bank", 150)
+        probe.finish(150, ReplySource.L2_HIT)
+        probe.stamp("pkt_send", 500)
+        probe.note("late", True)
+        assert probe.stamps[-1] == ("bank", 150)
+        assert "late" not in probe.notes
+
+    def test_finish_appends_defensive_fill(self):
+        _, probe = self._probe()
+        probe.stamp("bank", 150)
+        probe.finish(200, ReplySource.L2_HIT)
+        assert probe.stamps[-1] == ("fill", 200)
+        assert probe.latency_ps() == 100
+
+    def test_double_finish_counts_once(self):
+        collector, probe = self._probe()
+        probe.finish(200, ReplySource.L2_HIT)
+        probe.finish(300, ReplySource.L2_HIT)
+        assert collector.completed == 1
+
+
+class TestProbeCollector:
+    def test_rate_gating(self):
+        collector = ProbeCollector(3)
+        got = [collector.maybe_attach(i, 0, 0, RequestType.READ, 0)
+               for i in range(9)]
+        attached = [p is not None for p in got]
+        assert attached == [False, False, True] * 3
+        assert collector.attached == 3
+
+    def test_rate_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            ProbeCollector(0)
+
+    def test_classify(self):
+        assert classify(RequestType.EXCLUSIVE, ReplySource.L2_HIT) == "upgrade"
+        assert classify(RequestType.READ, ReplySource.L2_HIT) == "l2_hit"
+        assert classify(RequestType.READ_EXCLUSIVE,
+                        ReplySource.REMOTE_DIRTY) == "remote_dirty"
+
+    def test_reset_zeroes_aggregates(self):
+        collector = ProbeCollector(1)
+        probe = collector.maybe_attach(1, 0, 0, RequestType.READ, 0)
+        probe.stamp("fill", 50_000)
+        probe.finish(50_000, ReplySource.L2_HIT)
+        collector.reset()
+        d = collector.as_dict()
+        assert d["completed"] == 0
+        assert d["classes"]["l2_hit"]["count"] == 0
+        assert sum(d["classes"]["l2_hit"]["histogram"]["bins"]) == 0
+        assert d["samples"] == []
+
+
+class TestProbesEndToEnd:
+    def test_hop_sum_invariant_and_counter_crosscheck(self):
+        system = run_probed(rate=1)
+        probes = system.probes.as_dict()
+        assert probes["completed"] > 100
+
+        # every retained sample: hop deltas partition the latency exactly
+        for sample in probes["samples"]:
+            stamps = sample["stamps"]
+            assert stamps[0][0] == "issue"
+            times = [t for _, t in stamps]
+            assert times == sorted(times), f"non-monotone stamps: {stamps}"
+            hop_sum = sum(t1 - t0 for t0, t1 in zip(times, times[1:]))
+            assert hop_sum == times[-1] - times[0]
+
+        # independent cross-check: CPU stall accounting vs probe means.
+        # Counts differ only by warm-up-boundary straddlers (each CPU's
+        # accounting resets at its own boundary, probes at the global
+        # one); means agree tightly at rate 1 on in-order cores.
+        counter = counter_latency_ns(system)
+        for name, blk in counter.items():
+            probe_blk = probes["by_source"][name]
+            assert probe_blk["count"] == pytest.approx(blk["count"],
+                                                       rel=0.05)
+            assert probe_blk["mean_ns"] == pytest.approx(blk["mean_ns"],
+                                                         rel=0.02)
+
+    def test_histogram_mass_matches_counts(self):
+        system = run_probed(rate=4, interval_ps=0)
+        probes = system.probes.as_dict()
+        for cls, blk in probes["classes"].items():
+            assert sum(blk["histogram"]["bins"]) == blk["count"], cls
+        total = sum(blk["count"] for blk in probes["classes"].values())
+        assert total == probes["completed"]
+
+    def test_mem_probes_note_page_hits(self):
+        system = run_probed(rate=1, interval_ps=0)
+        mem_samples = [s for s in system.probes.as_dict()["samples"]
+                       if s["class"] == "local_mem"]
+        assert mem_samples
+        assert all("dram_page_hit" in s["notes"] for s in mem_samples)
+        assert all(any(label == "mem_data" for label, _ in s["stamps"])
+                   for s in mem_samples)
+
+
+class TestIntervalSampler:
+    def test_unit_deltas_and_reset_flag(self, sim):
+        counters = {"x": 0}
+        sampler = IntervalSampler(sim, 100, lambda: dict(counters),
+                                  derive=lambda d, dt: {"rate": d["x"] / dt})
+        sampler.start()
+
+        def bump():
+            counters["x"] += 10
+            sim.schedule(40, bump)
+
+        def reset_at_boundary():
+            # mirrors PiranhaSystem.reset_module_stats: flush the partial
+            # interval with pre-reset deltas, then re-baseline and flag
+            sampler.flush()
+            sampler.note_reset()
+
+        sim.schedule(40, bump)
+        sim.schedule(250, reset_at_boundary)
+        sim.run(max_events=40)
+        sampler.finalize()
+        recs = sampler.intervals
+        assert len(recs) >= 3
+        assert all(r["t1_ps"] - r["t0_ps"] <= 100 for r in recs)
+        assert all(r["deltas"]["x"] >= 0 for r in recs)
+        # the series stays contiguous across the reset, and the interval
+        # beginning at the reset instant carries the flag
+        for prev, cur in zip(recs, recs[1:]):
+            assert prev["t1_ps"] == cur["t0_ps"]
+        flagged = [r for r in recs if r["reset"]]
+        assert len(flagged) == 1
+        assert flagged[0]["t0_ps"] == 250
+        assert all("rate" in r["derived"] for r in recs if
+                   r["t1_ps"] > r["t0_ps"])
+
+    def test_interval_must_be_positive(self, sim):
+        with pytest.raises(ValueError):
+            IntervalSampler(sim, 0, dict)
+        with pytest.raises(ValueError):
+            sim.schedule_every(0, lambda: True)
+
+    def test_schedule_every_stops_on_false(self, sim):
+        fired = []
+
+        def tick():
+            fired.append(sim.now)
+            return len(fired) < 3
+
+        sim.schedule_every(50, tick)
+        sim.run()
+        assert fired == [50, 100, 150]
+
+    def test_end_to_end_series(self):
+        system = run_probed(rate=64, interval_ps=20_000_000)
+        ts = system.sampler.as_dict()
+        assert ts["count"] >= 2
+        recs = ts["intervals"]
+        assert [r["index"] for r in recs] == list(range(len(recs)))
+        for prev, cur in zip(recs, recs[1:]):
+            assert prev["t1_ps"] == cur["t0_ps"]
+        assert sum(1 for r in recs if r["reset"]) == 1
+        for r in recs:
+            assert all(v >= 0 for v in r["deltas"].values())
+            assert "tsrf_occupancy" in r["gauges"]
+            assert 0.0 <= r["derived"]["l1_miss_rate"] <= 1.0
+        # post-reset instructions in the series track the CPUs'
+        # steady-state accounting; each CPU zeroes its own counter at its
+        # *own* warm-up boundary (before the global reset the sampler
+        # re-baselines at), so the series slightly undercounts
+        reset_idx = next(i for i, r in enumerate(recs) if r["reset"])
+        series_instr = sum(r["deltas"]["instructions"]
+                           for r in recs[reset_idx:])
+        cpu_instr = sum(cpu.instructions for cpu in system.all_cpus())
+        assert 0 < series_instr <= cpu_instr
+        assert series_instr >= 0.9 * cpu_instr
+
+
+class TestMetricsExport:
+    def _job(self, **kw):
+        kw.setdefault("config", preset("P2"))
+        return Job(factory=MigratoryFactory(TINY_MICRO),
+                   units_attr="iterations", **kw)
+
+    def test_simulate_attaches_valid_doc(self):
+        result = simulate(preset("P2"), MigratoryFactory(TINY_MICRO),
+                          units_attr="iterations", probe_rate=4,
+                          sample_interval_ps=10_000_000)
+        doc = result.extras["metrics"]
+        assert validate_metrics(doc) == []
+        assert doc["run"]["probe_rate"] == 4
+        assert doc["timeseries"]["count"] >= 2
+        csv = timeseries_csv(doc)
+        lines = csv.strip().splitlines()
+        assert lines[0].startswith("index,t0_ps,t1_ps,reset")
+        assert len(lines) == doc["timeseries"]["count"] + 1
+
+    def test_doc_is_deterministic(self):
+        docs = [
+            json.dumps(simulate(preset("P2"), MigratoryFactory(TINY_MICRO),
+                                units_attr="iterations", probe_rate=4,
+                                sample_interval_ps=10_000_000
+                                ).extras["metrics"], sort_keys=True)
+            for _ in range(2)
+        ]
+        assert docs[0] == docs[1]
+
+    def test_parallel_path_matches_serial(self):
+        job = self._job(probe_rate=4, sample_interval_ps=10_000_000)
+        serial = simulate(job.config, job.factory,
+                          units_attr=job.units_attr,
+                          probe_rate=job.probe_rate,
+                          sample_interval_ps=job.sample_interval_ps)
+        clear_cache()
+        # two distinct jobs so run_jobs actually opens the pool
+        other = self._job(probe_rate=4, sample_interval_ps=10_000_000,
+                          config=dataclasses.replace(preset("P2"),
+                                                     name="P2b"))
+        results = run_jobs([job, other], jobs=2)
+        assert (json.dumps(results[0].extras["metrics"], sort_keys=True)
+                == json.dumps(serial.extras["metrics"], sort_keys=True))
+
+    def test_cache_key_folds_observability_settings(self):
+        plain = run_configured(preset("P2"), MigratoryFactory(TINY_MICRO),
+                               units_attr="iterations")
+        assert "metrics" not in plain.extras
+        probed = run_configured(preset("P2"), MigratoryFactory(TINY_MICRO),
+                                units_attr="iterations", probe_rate=4)
+        assert "metrics" in probed.extras
+        # payloads agree (observability never perturbs the measurement)
+        assert probed.payload_tuple() == plain.payload_tuple()
+        # a repeat probed call is served from cache, with the doc intact
+        again = run_configured(preset("P2"), MigratoryFactory(TINY_MICRO),
+                               units_attr="iterations", probe_rate=4)
+        assert (json.dumps(again.extras["metrics"], sort_keys=True)
+                == json.dumps(probed.extras["metrics"], sort_keys=True))
+
+    def test_doc_without_sampler_has_null_timeseries(self):
+        result = simulate(preset("P2"), MigratoryFactory(TINY_MICRO),
+                          units_attr="iterations", probe_rate=4)
+        doc = result.extras["metrics"]
+        assert doc["timeseries"] is None
+        assert validate_metrics(doc) == []
+
+
+class TestCli:
+    def test_run_metrics_flag_writes_valid_json(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "m.json"
+        rc = main(["run", "--config", "P2", "--workload", "migratory",
+                   "--scale", "0.2", "--metrics", str(out),
+                   "--probe-rate", "8", "--sample-interval", "20"])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert validate_metrics(doc) == []
+        assert doc["run"]["probe_rate"] == 8
+        assert out.with_suffix(".csv").exists()
+        assert "latency probes (1/8)" in capsys.readouterr().out
+
+    def test_report_json(self, capsys):
+        from repro.__main__ import main
+
+        rc = main(["report", "--config", "P2", "--workload", "migratory",
+                   "--scale", "0.2", "--json", "--probe-rate", "8"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert validate_metrics(doc) == []
+        assert doc["probes"]["completed"] > 0

@@ -161,3 +161,64 @@ class TestStatGroup:
         # 0-300 ps warm-up area must not pollute the post-reset mean
         assert tw.level == 6.0
         assert tw.mean(400) == pytest.approx(6.0)
+
+
+class TestHistogramPercentile:
+    def test_percentile_basics(self):
+        h = Histogram("h", [10, 20, 30])
+        for v in (5, 15, 25, 28):
+            h.add(v)
+        assert h.percentile(0.25) == 10
+        assert h.percentile(0.5) == 20
+        assert h.percentile(1.0) == 30
+
+    def test_percentile_empty(self):
+        assert Histogram("h", [10]).percentile(0.5) == 0.0
+
+    def test_percentile_overflow_is_inf(self):
+        h = Histogram("h", [10])
+        h.add(99)
+        assert h.percentile(0.5) == float("inf")
+
+    def test_percentile_zero_is_smallest_edge(self):
+        h = Histogram("h", [10, 20])
+        h.add(15)
+        assert h.percentile(0.0) == 10
+
+    def test_percentile_out_of_range_rejected(self):
+        h = Histogram("h", [10])
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+        with pytest.raises(ValueError):
+            h.percentile(-0.1)
+
+    def test_reset_clears_bins_and_samples(self):
+        h = Histogram("h", [10, 20])
+        for v in (5, 15, 25):
+            h.add(v)
+        h.reset()
+        assert h.samples == 0
+        assert h.bins == [0, 0, 0]
+        h.add(15)
+        assert h.bins == [0, 1, 0]
+
+
+class TestAsDictWindowed:
+    def test_histogram_entry_carries_edges(self):
+        g = StatGroup("mod")
+        g.histogram("lat", [10, 20]).add(15)
+        d = g.as_dict()
+        assert d["lat"]["edges"] == [10, 20]
+        assert d["lat"]["bins"] == [0, 1, 0]
+
+    def test_time_weighted_mean_needs_now(self):
+        g = StatGroup("mod")
+        tw = g.time_weighted("occ")
+        tw.set(0, 2.0)
+        tw.set(100, 4.0)
+        plain = g.as_dict()
+        assert "mean" not in plain["occ"]
+        windowed = g.as_dict(now_ps=200)
+        # 2.0 for 100 ps then 4.0 for 100 ps
+        assert windowed["occ"]["mean"] == pytest.approx(3.0)
+        assert windowed["occ"]["level"] == 4.0
