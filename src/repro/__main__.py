@@ -251,6 +251,81 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """``fuzz``: run one seeded fuzz program (or replay a reproducer)
+    against the memory-model reference checker.  Exits 0 on a clean run
+    — or, for ``--replay``, when the recorded verdict reproduces — and
+    1 on an unexpected violation (or a reproducer that went stale)."""
+    import dataclasses
+
+    from .fuzz import (
+        MUTATIONS,
+        Reproducer,
+        generate,
+        params_for,
+        replay,
+        run_fuzz_program,
+        shrink_failure,
+    )
+
+    trace_cap = args.trace or (512 if args.replay else 2048)
+
+    if args.replay:
+        repro = Reproducer.load(args.replay)
+        print(f"replaying {args.replay}: {repro.program.describe()}")
+        print(f"recorded : {repro.signature or '(clean)'}")
+        verdict = run_fuzz_program(repro.program, check=args.check,
+                                   trace_capacity=trace_cap)
+        got = verdict.signature or "(clean)"
+        reproduced = verdict.signature == repro.signature
+        print(f"replayed : {got} -> "
+              f"{'REPRODUCED' if reproduced else 'DIVERGED'}")
+        if not reproduced and verdict.message:
+            print(verdict.message)
+        return 0 if reproduced else 1
+
+    params = params_for(args.seed, total_ops=args.ops, nodes=args.nodes,
+                        config=args.config, cpus_per_node=args.cpus)
+    program = generate(params)
+    if args.mutate:
+        name, _, period = args.mutate.partition("/")
+        if name not in MUTATIONS:
+            print(f"unknown mutation {name!r}; available: "
+                  f"{', '.join(sorted(MUTATIONS))}", file=sys.stderr)
+            return 2
+        program = dataclasses.replace(
+            program, mutation=name, mutation_period=int(period or 1))
+    print(f"fuzzing: {program.describe()}")
+    verdict = run_fuzz_program(program, check=args.check,
+                               trace_capacity=trace_cap)
+    if verdict.ok:
+        counts = verdict.counts
+        print("clean: " + ", ".join(
+            f"{k}={int(v)}" for k, v in sorted(counts.items())))
+        return 0
+    print(f"VIOLATION {verdict.signature}")
+    print(verdict.message)
+    if verdict.trace_window:
+        print("\nprotocol trace tail:")
+        for line in verdict.trace_window[-args.tail:]:
+            print("  " + line)
+    if args.shrink:
+        print(f"\nshrinking (budget {args.shrink} runs) ...")
+        repro = shrink_failure(program, verdict, budget=args.shrink,
+                               log=lambda msg: print("  " + msg))
+        print(f"minimal: {repro.program.describe()} "
+              f"({repro.shrunk_from_ops} -> {repro.program.op_count} ops, "
+              f"{repro.shrink_runs} runs)")
+        if args.out:
+            repro.save(args.out)
+            print(f"reproducer written to {args.out} "
+                  f"(replay with: python -m repro fuzz --replay {args.out})")
+        check = replay(repro, check=args.check)
+        print(f"reproducer replay: "
+              f"{'REPRODUCED' if check.signature == repro.signature else 'DIVERGED'}")
+    return 1
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     """``cache``: inspect or clear the persistent result cache."""
     from .harness import DISK_CACHE
@@ -393,6 +468,38 @@ def main(argv=None) -> int:
                         help="worker processes (default: REPRO_JOBS or 1; "
                              "0 = all cores)")
     sweep_p.set_defaults(fn=cmd_sweep)
+
+    fuzz_p = sub.add_parser(
+        "fuzz", help="run a seeded fuzz program against the memory-model "
+                     "reference checker")
+    fuzz_p.add_argument("--seed", type=int, default=0,
+                        help="stimulus seed (fully determines the program)")
+    fuzz_p.add_argument("--ops", type=int, default=2000,
+                        help="total operation budget across all CPUs")
+    fuzz_p.add_argument("--nodes", type=int, default=1)
+    fuzz_p.add_argument("--config", default="P8", choices=sorted(PRESETS))
+    fuzz_p.add_argument("--cpus", type=int, default=4,
+                        help="CPUs driven per node")
+    fuzz_p.add_argument("--mutate", metavar="NAME[/PERIOD]", default=None,
+                        help="inject a deliberate protocol mutation "
+                             "(lost_inval, stale_share, skip_fence)")
+    fuzz_p.add_argument("--check", action="store_true",
+                        help="also arm the structural protocol sanitizer")
+    fuzz_p.add_argument("--trace", type=int, nargs="?", const=2048,
+                        default=0, metavar="N",
+                        help="protocol trace ring capacity (default 2048)")
+    fuzz_p.add_argument("--tail", type=int, default=24,
+                        help="trace lines printed on violation")
+    fuzz_p.add_argument("--shrink", type=int, nargs="?", const=400,
+                        default=0, metavar="BUDGET",
+                        help="on violation, delta-debug to a minimal "
+                             "reproducer (budget in simulator runs)")
+    fuzz_p.add_argument("--out", metavar="PATH", default=None,
+                        help="write the shrunk reproducer JSON here")
+    fuzz_p.add_argument("--replay", metavar="PATH", default=None,
+                        help="replay a saved reproducer; exit 0 iff the "
+                             "recorded verdict reproduces")
+    fuzz_p.set_defaults(fn=cmd_fuzz)
 
     cache_p = sub.add_parser(
         "cache", help="inspect or clear the persistent result cache")

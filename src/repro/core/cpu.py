@@ -80,6 +80,13 @@ class CpuCore(Component):
         self._fence_start = 0
         self.c_wh64 = self.stats.counter("wh64_issued")
         self.c_membar = self.stats.counter("membars")
+        #: optional completion observer (the fuzz reference checker):
+        #: called as ``obs_hook(kind, addr)`` synchronously inside the
+        #: event that completes each data access or fence, so the caller
+        #: can inspect cache state before anything else can intervene.
+        #: The hot path pays a single ``is None`` test when unset.
+        self.obs_hook = None
+        self._obs_pending: Optional[Tuple[AccessKind, int]] = None
         #: optional explicit TLBs (see core.tlb); enabled by a positive
         #: L1Params.tlb_refill_ns
         self.tlb_refill_ps = int(config.l1.tlb_refill_ns * 1000)
@@ -145,11 +152,24 @@ class CpuCore(Component):
         self.c_membar.inc()
         self._fence_start = self.now
         if self.chip.fence(self.cpu_id, self._fence_resume):
+            if self.obs_hook is not None:
+                self.obs_hook(AccessKind.MEMBAR, 0)
             self._run()
 
     def _fence_resume(self) -> None:
         self.fence_stall_ps += self.now - self._fence_start
+        if self.obs_hook is not None:
+            self.obs_hook(AccessKind.MEMBAR, 0)
         self._run()
+
+    def _obs_complete(self) -> None:
+        """Fire the observer for the data miss that just completed (the
+        pending op was noted at issue; misses on these cores complete
+        one at a time, so a single slot suffices)."""
+        pending = self._obs_pending
+        if pending is not None:
+            self._obs_pending = None
+            self.obs_hook(pending[0], pending[1])
 
     def _after_warmup(self) -> None:
         self.reset_accounting()
@@ -204,6 +224,8 @@ class InOrderCpu(CpuCore):
             l1 = self._l1i if is_instr else self._l1d
             result = l1.lookup(addr, kind)
             if result.hit:
+                if self.obs_hook is not None and not is_instr:
+                    self.obs_hook(kind, addr)
                 if batch >= MAX_BATCH_INSTRUCTIONS:
                     self.busy_ps += accum
                     self.schedule(accum, self._run)
@@ -214,6 +236,8 @@ class InOrderCpu(CpuCore):
             self.misses += 1
             if kind == AccessKind.WH64:
                 self.c_wh64.inc()
+            if self.obs_hook is not None and not is_instr:
+                self._obs_pending = (kind, addr)
             reqtype = request_for(kind, result.state)
             req = MemRequest(
                 cpu_id=self.cpu_id, kind=kind, addr=addr, is_instr=is_instr,
@@ -229,6 +253,8 @@ class InOrderCpu(CpuCore):
     def _miss_done(self, latency_ps: int, source: ReplySource) -> None:
         self.stall_ps[source] += latency_ps
         self.stall_counts[source] += 1
+        if self.obs_hook is not None:
+            self._obs_complete()
         self._run()
 
 
@@ -293,6 +319,8 @@ class OooCpu(CpuCore):
             l1 = self._l1i if is_instr else self._l1d
             result = l1.lookup(addr, kind)
             if result.hit:
+                if self.obs_hook is not None and not is_instr:
+                    self.obs_hook(kind, addr)
                 if batch >= MAX_BATCH_INSTRUCTIONS:
                     self.busy_ps += accum
                     self.schedule(accum, self._run)
@@ -300,7 +328,13 @@ class OooCpu(CpuCore):
                 continue
             self.misses += 1
             reqtype = request_for(kind, result.state)
-            streaming = not dep and self.outstanding < self.max_outstanding
+            # An observed core serialises every miss: per-access
+            # observation order must match program order, which streaming
+            # (overlapped, out-of-order-completing) misses would break.
+            streaming = (not dep and self.outstanding < self.max_outstanding
+                         and self.obs_hook is None)
+            if self.obs_hook is not None and not streaming and not is_instr:
+                self._obs_pending = (kind, addr)
             req = MemRequest(
                 cpu_id=self.cpu_id, kind=kind, addr=addr, is_instr=is_instr,
                 done=(self._stream_done if streaming else self._dep_done),
@@ -332,6 +366,8 @@ class OooCpu(CpuCore):
         self.busy_ps += hidden
         self.credit_ps += hidden
         self._blocked = False
+        if self.obs_hook is not None:
+            self._obs_complete()
         self._run()
 
     def _stream_done(self, latency_ps: int, source: ReplySource) -> None:

@@ -1,0 +1,220 @@
+"""Compact, serialisable fuzz stimulus programs.
+
+A :class:`FuzzProgram` is the unit the whole fuzz subsystem trades in:
+the stimulus generator emits one, the runner executes one, the shrinker
+transforms one, and a reproducer file *is* one (plus the recorded
+verdict).  It is deliberately tiny and value-typed — a list of per-CPU
+op lists over a small shared address pool — so delta-debugging can
+slice it freely and a failure case fits in a few hundred bytes of JSON.
+
+Ops are ``(kind, slot, gap)`` triples:
+
+* ``kind`` — ``"ld"`` (LOAD), ``"st"`` (STORE), ``"wh"`` (wh64) or
+  ``"mb"`` (memory barrier; ``slot`` is ignored);
+* ``slot`` — index into the program's address pool.  Distinct slots may
+  alias the same cache line (that is how false-sharing pairs are
+  expressed: two logical variables, one line);
+* ``gap`` — instructions of local work charged before the access.  The
+  generator shapes these (bursts, node skew) to bias the scheduler.
+
+The pool holds absolute line addresses chosen so consecutive 8 KB
+chunks land at different home nodes (see
+:class:`~repro.mem.addr.AddressMap`), giving cross-node traffic without
+any knowledge of the system under test.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.messages import AccessKind
+
+#: op kind -> the AccessKind the CPU issues
+OP_KINDS: Dict[str, AccessKind] = {
+    "ld": AccessKind.LOAD,
+    "st": AccessKind.STORE,
+    "wh": AccessKind.WH64,
+    "mb": AccessKind.MEMBAR,
+}
+
+#: current reproducer schema identifier
+REPRO_SCHEMA = "repro-fuzz/1"
+
+Op = Tuple[str, int, int]  # (kind, slot, gap)
+
+
+@dataclass(frozen=True)
+class FuzzProgram:
+    """One deterministic stimulus: per-CPU op lists over an address pool."""
+
+    seed: int
+    config: str                    # chip preset name (P1/P2/...)
+    nodes: int
+    cpus_per_node: int
+    pool: Tuple[int, ...]          # slot -> absolute line address
+    ops: Tuple[Tuple[Op, ...], ...]  # one tuple of ops per global CPU
+    #: deliberate protocol mutation to apply (see repro.fuzz.mutations);
+    #: None fuzzes the real protocol
+    mutation: Optional[str] = None
+    #: every Nth opportunity the mutation fires (determinism knob)
+    mutation_period: int = 1
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def total_cpus(self) -> int:
+        return self.nodes * self.cpus_per_node
+
+    @property
+    def op_count(self) -> int:
+        return sum(len(cpu_ops) for cpu_ops in self.ops)
+
+    def used_slots(self) -> List[int]:
+        """Pool slots referenced by at least one non-membar op."""
+        used = sorted({slot for cpu_ops in self.ops
+                       for kind, slot, _gap in cpu_ops if kind != "mb"})
+        return used
+
+    def validate(self) -> None:
+        if self.nodes < 1 or self.cpus_per_node < 1:
+            raise ValueError("need at least one node and one CPU")
+        if len(self.ops) != self.total_cpus:
+            raise ValueError(
+                f"{len(self.ops)} op lists for {self.total_cpus} CPUs")
+        if not self.pool:
+            raise ValueError("empty address pool")
+        for addr in self.pool:
+            if addr % 64:
+                raise ValueError(f"pool address {addr:#x} not line-aligned")
+        for cpu_ops in self.ops:
+            for kind, slot, gap in cpu_ops:
+                if kind not in OP_KINDS:
+                    raise ValueError(f"unknown op kind {kind!r}")
+                if kind != "mb" and not 0 <= slot < len(self.pool):
+                    raise ValueError(f"slot {slot} outside pool")
+                if gap < 1:
+                    raise ValueError(f"gap {gap} must be >= 1")
+
+    # -- transforms (used by the shrinker) ---------------------------------
+
+    def with_ops(self, ops: Sequence[Sequence[Op]]) -> "FuzzProgram":
+        return replace(self, ops=tuple(tuple(o) for o in ops))
+
+    def with_pool(self, pool: Sequence[int],
+                  ops: Sequence[Sequence[Op]]) -> "FuzzProgram":
+        return replace(self, pool=tuple(pool),
+                       ops=tuple(tuple(o) for o in ops))
+
+    def with_shape(self, nodes: int, cpus_per_node: int,
+                   ops: Sequence[Sequence[Op]]) -> "FuzzProgram":
+        return replace(self, nodes=nodes, cpus_per_node=cpus_per_node,
+                       ops=tuple(tuple(o) for o in ops))
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "config": self.config,
+            "nodes": self.nodes,
+            "cpus_per_node": self.cpus_per_node,
+            "pool": list(self.pool),
+            "ops": [[[k, s, g] for k, s, g in cpu_ops]
+                    for cpu_ops in self.ops],
+            "mutation": self.mutation,
+            "mutation_period": self.mutation_period,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "FuzzProgram":
+        program = cls(
+            seed=int(doc["seed"]),
+            config=str(doc["config"]),
+            nodes=int(doc["nodes"]),
+            cpus_per_node=int(doc["cpus_per_node"]),
+            pool=tuple(int(a) for a in doc["pool"]),
+            ops=tuple(tuple((str(k), int(s), int(g)) for k, s, g in cpu_ops)
+                      for cpu_ops in doc["ops"]),
+            mutation=doc.get("mutation"),
+            mutation_period=int(doc.get("mutation_period", 1)),
+        )
+        program.validate()
+        return program
+
+    def canonical_json(self) -> str:
+        """Stable one-line JSON (the disk-cache / dedup token)."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def describe(self) -> str:
+        kinds: Dict[str, int] = {}
+        for cpu_ops in self.ops:
+            for kind, _slot, _gap in cpu_ops:
+                kinds[kind] = kinds.get(kind, 0) + 1
+        mix = " ".join(f"{k}={kinds.get(k, 0)}" for k in ("ld", "st", "wh", "mb"))
+        mut = f" mutation={self.mutation}/{self.mutation_period}" \
+            if self.mutation else ""
+        return (f"fuzz[seed={self.seed} {self.config}x{self.nodes} "
+                f"cpus={self.total_cpus} pool={len(self.pool)} "
+                f"ops={self.op_count} ({mix}){mut}]")
+
+
+# ---------------------------------------------------------------------------
+# Reproducer files
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Reproducer:
+    """A self-contained failure case: program + expected verdict + trace.
+
+    ``repro fuzz --replay file.json`` and the generated pytest in
+    ``tests/test_fuzz_repros.py`` both load exactly this document.
+    """
+
+    program: FuzzProgram
+    signature: str                  # stable violation signature to expect
+    kind: str                       # violation kind tag (e.g. "coherence-regress")
+    message: str = ""               # full first-failure message (informational)
+    trace_window: List[str] = field(default_factory=list)
+    shrunk_from_ops: int = 0        # op count before shrinking
+    shrink_runs: int = 0            # simulations the shrinker spent
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": REPRO_SCHEMA,
+            "program": self.program.to_dict(),
+            "signature": self.signature,
+            "kind": self.kind,
+            "message": self.message,
+            "trace_window": list(self.trace_window),
+            "shrunk_from_ops": self.shrunk_from_ops,
+            "shrink_runs": self.shrink_runs,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "Reproducer":
+        if doc.get("schema") != REPRO_SCHEMA:
+            raise ValueError(
+                f"not a {REPRO_SCHEMA} document: {doc.get('schema')!r}")
+        return cls(
+            program=FuzzProgram.from_dict(doc["program"]),
+            signature=str(doc["signature"]),
+            kind=str(doc["kind"]),
+            message=str(doc.get("message", "")),
+            trace_window=[str(s) for s in doc.get("trace_window", [])],
+            shrunk_from_ops=int(doc.get("shrunk_from_ops", 0)),
+            shrink_runs=int(doc.get("shrink_runs", 0)),
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "Reproducer":
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))

@@ -1,0 +1,236 @@
+"""Axiomatic memory-model reference checker.
+
+The simulator already carries a *value proxy* for every cache line: the
+per-line version token, incremented by each store (and each ``wh64``
+zero-fill) and propagated by fills, write-backs and forwards.  Version
+tokens therefore name the writes to a line, and the sequence
+``1..max`` is the line's **coherence order**.  That lets read values be
+checked axiomatically — with no knowledge of the protocol's structure —
+by watching what version each CPU observes at every access:
+
+* **coherence order is a total order of writes** — no two writes may
+  produce the same version of a line (a duplicate means two writers
+  built on the same base copy: a lost update), and no write may skip
+  past unwritten versions;
+* **per-CPU order respects coherence order** (CoRR/CoWR/CoWW) — the
+  versions one CPU observes of one line never go backwards.  Reading a
+  globally-stale version is *legal* under the paper's eager exclusive
+  replies (Alpha memory model) — but re-reading an older version after
+  a newer one is not;
+* **membar pairs are ordered** (the MP litmus axiom) — when a writer
+  separates two writes with an MB, a reader that observes the second
+  write and then executes its own MB must not subsequently read
+  anything older than what the writer had done before *its* MB.
+
+The checker is deliberately independent of
+:class:`~repro.core.checker.CoherenceChecker`: that sanitizer audits
+protocol *structure* (duplicate tags, inclusion, directories); this one
+audits observed *values*.  A protocol mutation that keeps the structures
+self-consistent but leaks stale data — e.g. a fence that does not wait
+for its invalidation acks — is invisible to the sanitizer and caught
+here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class MemoryModelViolation(AssertionError):
+    """The simulation produced a value history no memory model allows.
+
+    ``kind`` is a stable machine-readable tag (the shrinker matches on
+    it to ensure it is chasing the same bug while minimising).
+    """
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
+@dataclass
+class WriteRec:
+    """One write in a line's coherence order."""
+
+    gcpu: int                 # global CPU id of the writer
+    op_idx: int               # writer's program-order index
+    kind: str                 # "st" or "wh"
+    #: versions (per line) ordered before this write by the writer's
+    #: last membar — what an acquiring reader is entitled to expect
+    frontier: Dict[int, int] = field(default_factory=dict)
+
+
+class ReferenceChecker:
+    """Tracks per-line coherence order and per-CPU observations."""
+
+    def __init__(self, num_cpus: int) -> None:
+        self.num_cpus = num_cpus
+        #: line -> {version -> WriteRec}; the line's coherence order
+        self.writes: Dict[int, Dict[int, WriteRec]] = {}
+        self.max_written: Dict[int, int] = {}
+        self.write_counts: Dict[int, int] = {}
+        #: per-CPU last observed version per line (program order)
+        self.seen: List[Dict[int, int]] = [dict() for _ in range(num_cpus)]
+        #: per-CPU lower bounds acquired through membars (MP axiom)
+        self.acquired: List[Dict[int, int]] = [dict() for _ in range(num_cpus)]
+        #: per-CPU snapshot of (seen ∪ acquired) at the last membar; this
+        #: is the frontier recorded with the CPU's subsequent writes
+        self.fenced: List[Dict[int, int]] = [dict() for _ in range(num_cpus)]
+        #: frontiers of versions read since the CPU's last membar; the
+        #: next membar folds them into ``acquired``
+        self.pending: List[List[Dict[int, int]]] = [[] for _ in range(num_cpus)]
+        # telemetry
+        self.reads = 0
+        self.writes_observed = 0
+        self.membars = 0
+        self.zero_fill_reads = 0
+        self.stale_reads = 0      # legal stale observations (informational)
+
+    # -- violation plumbing ------------------------------------------------
+
+    def _fail(self, kind: str, message: str) -> None:
+        raise MemoryModelViolation(kind, f"reference[{kind}]: {message}")
+
+    @staticmethod
+    def _ctx(gcpu: int, op_idx: int, line: int, version: int) -> str:
+        return f"cpu{gcpu} op#{op_idx} line={line:#x} version={version}"
+
+    # -- observations ------------------------------------------------------
+
+    def on_write(self, gcpu: int, op_idx: int, line: int, version: int,
+                 kind: str = "st") -> None:
+        """CPU *gcpu* completed a store/wh64 producing *version*."""
+        self.writes_observed += 1
+        ctx = self._ctx(gcpu, op_idx, line, version)
+        if version < 1:
+            self._fail("unversioned-write", f"{ctx}: write produced no "
+                       f"new version token")
+        line_writes = self.writes.setdefault(line, {})
+        prior = line_writes.get(version)
+        if prior is not None:
+            self._fail(
+                "lost-update",
+                f"{ctx}: version already written by cpu{prior.gcpu} "
+                f"op#{prior.op_idx} — two writers built on the same base "
+                f"copy (a lost update)")
+        top = self.max_written.get(line, 0)
+        if version > top + 1:
+            self._fail(
+                "version-skip",
+                f"{ctx}: skips unwritten versions (coherence order so far "
+                f"ends at {top})")
+        s = self.seen[gcpu].get(line, 0)
+        if version <= s:
+            self._fail(
+                "coherence-regress",
+                f"{ctx}: writes behind version {s} this CPU already "
+                f"observed (CoWW/CoWR order broken)")
+        a = self.acquired[gcpu].get(line, 0)
+        if version <= a:
+            self._fail(
+                "mp-stale",
+                f"{ctx}: writes behind version {a} acquired through a "
+                f"membar-ordered read")
+        line_writes[version] = WriteRec(gcpu, op_idx, kind,
+                                        self.fenced[gcpu])
+        self.max_written[line] = max(top, version)
+        self.write_counts[line] = self.write_counts.get(line, 0) + 1
+        self.seen[gcpu][line] = version
+
+    def on_read(self, gcpu: int, op_idx: int, line: int, version: int) -> None:
+        """CPU *gcpu* completed a load observing *version*."""
+        self.reads += 1
+        ctx = self._ctx(gcpu, op_idx, line, version)
+        rec: Optional[WriteRec] = None
+        if version > 0:
+            rec = self.writes.get(line, {}).get(version)
+            if rec is None:
+                self._fail(
+                    "fabricated-version",
+                    f"{ctx}: no store ever produced this version (written "
+                    f"so far: 1..{self.max_written.get(line, 0)})")
+        s = self.seen[gcpu].get(line, 0)
+        if version < s:
+            self._fail(
+                "coherence-regress",
+                f"{ctx}: older than version {s} this CPU already observed "
+                f"(CoRR order broken)")
+        a = self.acquired[gcpu].get(line, 0)
+        if version < a:
+            self._fail(
+                "mp-stale",
+                f"{ctx}: older than version {a} acquired through a "
+                f"membar-ordered read (message-passing broken)")
+        if version > s:
+            self.seen[gcpu][line] = version
+        if rec is not None:
+            if rec.kind == "wh":
+                self.zero_fill_reads += 1
+            if rec.frontier:
+                self.pending[gcpu].append(rec.frontier)
+        if version < self.max_written.get(line, 0):
+            self.stale_reads += 1  # architecturally legal (eager replies)
+
+    def on_membar(self, gcpu: int) -> None:
+        """CPU *gcpu* completed a memory barrier."""
+        self.membars += 1
+        acquired = self.acquired[gcpu]
+        for frontier in self.pending[gcpu]:
+            for line, version in frontier.items():
+                if version > acquired.get(line, 0):
+                    acquired[line] = version
+        self.pending[gcpu].clear()
+        # Snapshot the frontier this CPU's future writes will publish.
+        snap = dict(acquired)
+        for line, version in self.seen[gcpu].items():
+            if version > snap.get(line, 0):
+                snap[line] = version
+        self.fenced[gcpu] = snap
+
+    # -- end-of-run audit --------------------------------------------------
+
+    def final_check(self, surviving: Iterable[Tuple[str, int, int]],
+                    mem_versions: Dict[int, int]) -> None:
+        """Audit the quiesced system's residue against the write history.
+
+        *surviving* yields ``(where, line, version)`` for every cached
+        copy of a tracked line; *mem_versions* is the committed memory
+        image.  Every surviving version must have been produced by some
+        observed write, and coherence order must be gap-free.
+        """
+        for line, count in self.write_counts.items():
+            top = self.max_written.get(line, 0)
+            if count != top:
+                self._fail(
+                    "write-count-mismatch",
+                    f"line={line:#x}: {count} writes observed but coherence "
+                    f"order ends at version {top}")
+        for where, line, version in surviving:
+            if version > 0 and version not in self.writes.get(line, {}):
+                self._fail(
+                    "residual-fabricated",
+                    f"{where}: line={line:#x} survived with version "
+                    f"{version}, which no store produced "
+                    f"(written: 1..{self.max_written.get(line, 0)})")
+        for line, version in mem_versions.items():
+            if line not in self.writes and version == 0:
+                continue
+            if version > self.max_written.get(line, 0):
+                self._fail(
+                    "residual-fabricated",
+                    f"memory: line={line:#x} committed version {version} "
+                    f"beyond coherence order "
+                    f"(max {self.max_written.get(line, 0)})")
+
+    # -- telemetry ---------------------------------------------------------
+
+    def counts(self) -> Dict[str, float]:
+        return {
+            "ref_reads": float(self.reads),
+            "ref_writes": float(self.writes_observed),
+            "ref_membars": float(self.membars),
+            "ref_zero_fill_reads": float(self.zero_fill_reads),
+            "ref_stale_reads": float(self.stale_reads),
+            "ref_lines_written": float(len(self.writes)),
+        }

@@ -1,0 +1,186 @@
+"""Seeded random stimulus generation.
+
+Builds :class:`~repro.fuzz.program.FuzzProgram` instances that
+concentrate traffic into the protocol corners PR 2's sanitizer hunts:
+tiny contended address pools, heavy write sharing, and biased timing.
+
+The address pool mixes three sharing idioms:
+
+* **false-sharing pairs** — two pool slots aliased to one cache line,
+  so independent-looking variables collide in the coherence protocol;
+* **migratory lines** — single hot lines that every CPU
+  read-modify-writes, ping-ponging ownership;
+* **producer–consumer rings** — a short run of data lines plus a flag
+  line, driven by structured ``st;st;mb;st-flag`` / ``ld-flag;mb;ld``
+  sequences (the message-passing litmus shape the membar axioms check).
+
+Pool lines are spread across home nodes by allocating them out of
+consecutive 8 KB chunks (the :class:`~repro.mem.addr.AddressMap`
+round-robin granularity), so a 4-node system sees local, 2-hop and
+3-hop service paths from even a 16-line pool.
+
+Timing bias comes from the per-op ``gap`` field: most gaps are short
+(burst arrivals), a thin tail is long (drain-and-collide), and each
+CPU's first gap is skewed by node index so nodes enter the fray
+staggered rather than lockstep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..sim.rng import substream
+from .program import FuzzProgram, Op
+
+LINE = 64
+HOME_GRANULARITY = 8192
+#: pool lines start here; clear of the microbenchmark regions at 0x0
+POOL_BASE = 0x4000_0000
+
+
+@dataclass(frozen=True)
+class StimulusParams:
+    """Knobs for one generated program (all defaulted for `repro fuzz`)."""
+
+    seed: int = 0
+    config: str = "P8"
+    nodes: int = 1
+    cpus_per_node: int = 4
+    ops_per_cpu: int = 64
+    pool_lines: int = 8          # distinct cache lines in the pool
+    false_share_pairs: int = 2   # extra aliased slots over existing lines
+    ring_lines: int = 3          # data lines per producer-consumer ring
+    #: op-mix weights (ld, st, wh, mb) for unstructured filler ops
+    weights: Tuple[float, float, float, float] = (0.40, 0.35, 0.10, 0.15)
+    burst_gap: int = 4           # bursty ops draw gaps in [1, burst_gap]
+    stall_gap: int = 300         # occasional long think time
+    stall_prob: float = 0.04
+    node_skew_gap: int = 200     # extra initial gap per node index
+    idiom_prob: float = 0.35     # chance an emission is a structured idiom
+
+
+def _pool_addresses(lines: int) -> List[int]:
+    """*lines* distinct line addresses, one per 8 KB chunk so consecutive
+    pool lines are homed at consecutive nodes."""
+    return [POOL_BASE + i * HOME_GRANULARITY for i in range(lines)]
+
+
+def build_pool(params: StimulusParams) -> Tuple[int, ...]:
+    """Pool slots: distinct lines first, then aliased false-sharing slots."""
+    rng = substream(params.seed, "fuzz", "pool")
+    lines = _pool_addresses(max(1, params.pool_lines))
+    slots = list(lines)
+    for _ in range(params.false_share_pairs):
+        slots.append(lines[rng.randrange(len(lines))])
+    return tuple(slots)
+
+
+class _CpuStream:
+    """Generates one CPU's op list: weighted filler plus sharing idioms."""
+
+    def __init__(self, params: StimulusParams, gcpu: int, node: int,
+                 pool_slots: int) -> None:
+        self.p = params
+        self.rng = substream(params.seed, "fuzz", "cpu", gcpu)
+        self.node = node
+        self.pool_slots = pool_slots
+        # Ring role alternates by global CPU id so every ring has both ends.
+        self.producer = gcpu % 2 == 0
+
+    def _gap(self) -> int:
+        if self.rng.random() < self.p.stall_prob:
+            return self.rng.randrange(self.p.stall_gap // 2,
+                                      self.p.stall_gap + 1)
+        return self.rng.randrange(1, self.p.burst_gap + 1)
+
+    def _slot(self) -> int:
+        return self.rng.randrange(self.pool_slots)
+
+    def _filler(self) -> List[Op]:
+        u = self.rng.random()
+        w = self.p.weights
+        if u < w[0]:
+            kind = "ld"
+        elif u < w[0] + w[1]:
+            kind = "st"
+        elif u < w[0] + w[1] + w[2]:
+            kind = "wh"
+        else:
+            kind = "mb"
+        return [(kind, 0 if kind == "mb" else self._slot(), self._gap())]
+
+    def _migratory(self) -> List[Op]:
+        slot = self._slot()
+        return [("ld", slot, self._gap()), ("st", slot, self._gap())]
+
+    def _ring(self) -> List[Op]:
+        """Message-passing shape over the low pool slots: the producer
+        writes data lines then a membar then the flag; the consumer reads
+        the flag, membars, then reads the data."""
+        data = min(self.p.ring_lines, self.pool_slots - 1)
+        if data < 1:
+            return self._filler()
+        flag = data  # slot just past the ring's data lines
+        if self.producer:
+            ops: List[Op] = [("st", i, self._gap()) for i in range(data)]
+            ops.append(("mb", 0, 1))
+            ops.append(("st", flag, self._gap()))
+        else:
+            ops = [("ld", flag, self._gap()), ("mb", 0, 1)]
+            ops.extend(("ld", i, self._gap()) for i in range(data))
+        return ops
+
+    def emit(self) -> List[Op]:
+        ops: List[Op] = []
+        # Node skew: stagger when each node's CPUs join the contention.
+        first_gap = 1 + self.node * self.p.node_skew_gap \
+            + self.rng.randrange(self.p.burst_gap)
+        while len(ops) < self.p.ops_per_cpu:
+            u = self.rng.random()
+            if u < self.p.idiom_prob / 2:
+                ops.extend(self._ring())
+            elif u < self.p.idiom_prob:
+                ops.extend(self._migratory())
+            else:
+                ops.extend(self._filler())
+        ops = ops[:self.p.ops_per_cpu]
+        if ops:
+            kind, slot, _gap = ops[0]
+            ops[0] = (kind, slot, first_gap)
+        return ops
+
+
+def generate(params: StimulusParams) -> FuzzProgram:
+    """Build the deterministic program for *params* (same params → same
+    program, bit for bit)."""
+    pool = build_pool(params)
+    ops = []
+    for node in range(params.nodes):
+        for cpu in range(params.cpus_per_node):
+            gcpu = node * params.cpus_per_node + cpu
+            stream = _CpuStream(params, gcpu, node, len(pool))
+            ops.append(tuple(stream.emit()))
+    program = FuzzProgram(
+        seed=params.seed,
+        config=params.config,
+        nodes=params.nodes,
+        cpus_per_node=params.cpus_per_node,
+        pool=pool,
+        ops=tuple(ops),
+    )
+    program.validate()
+    return program
+
+
+def params_for(seed: int, total_ops: int, nodes: int, config: str = "P8",
+               cpus_per_node: int = 4) -> StimulusParams:
+    """Convenience mapping from the CLI's --seed/--ops/--nodes triple."""
+    total_cpus = max(1, nodes * cpus_per_node)
+    return StimulusParams(
+        seed=seed,
+        config=config,
+        nodes=nodes,
+        cpus_per_node=cpus_per_node,
+        ops_per_cpu=max(1, total_ops // total_cpus),
+    )

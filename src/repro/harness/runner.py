@@ -204,6 +204,11 @@ def simulate(
                    if trace_capacity else CoherenceChecker())
     system = PiranhaSystem(config, num_nodes=num_nodes, checker=checker)
     system.attach_workload(workload)
+    bind_system = getattr(workload, "bind_system", None)
+    if bind_system is not None:
+        # workloads that observe the live system (the fuzz reference
+        # checker) wire themselves up once everything is built
+        bind_system(system)
     if check_coherence:
         system.enable_continuous_audit()
     if probe_rate:
@@ -252,6 +257,11 @@ def simulate(
         # and identical across the serial and ProcessPool paths
         result.extras["metrics"] = metrics_doc(
             system, result, probe_rate, sample_interval_ps)
+    post_run = getattr(workload, "post_run", None)
+    if post_run is not None:
+        # end-of-run workload audit (fuzz residue check + telemetry);
+        # may raise, and may add deterministic extras
+        post_run(system, result)
     return result
 
 

@@ -8,6 +8,22 @@ import pytest
 # the full scale.
 os.environ.setdefault("REPRO_SCALE", "1.0")
 
+# Shared hypothesis profiles: simulation-backed properties routinely blow
+# the default 200 ms deadline on slow CI hosts, so the deadline is off
+# globally instead of per-test.  CI sets HYPOTHESIS_PROFILE=ci, which
+# additionally derandomizes example generation so every CI run executes
+# the identical example set (failures reproduce locally by exporting the
+# same profile).
+try:
+    from hypothesis import settings as _hyp_settings
+
+    _hyp_settings.register_profile("default", deadline=None)
+    _hyp_settings.register_profile("ci", deadline=None, derandomize=True)
+    _hyp_settings.load_profile(
+        os.environ.get("HYPOTHESIS_PROFILE", "default"))
+except ImportError:  # property tests are skipped without hypothesis
+    pass
+
 from repro.core import CoherenceChecker, PiranhaSystem, preset  # noqa: E402
 from repro.sim import Simulator  # noqa: E402
 

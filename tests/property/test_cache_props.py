@@ -10,7 +10,7 @@ lines = st.integers(min_value=0, max_value=4095).map(lambda i: i * 64)
 
 
 class TestL1Invariants:
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     @given(st.lists(lines, min_size=1, max_size=300))
     def test_associativity_never_exceeded(self, addrs):
         l1 = L1Cache(L1Params(size_bytes=4096, assoc=2), 0, False)
@@ -19,7 +19,7 @@ class TestL1Invariants:
         for s in l1.sets:
             assert len(s) <= 2
 
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     @given(st.lists(lines, min_size=1, max_size=300))
     def test_resident_count_bounded_by_capacity(self, addrs):
         l1 = L1Cache(L1Params(size_bytes=4096, assoc=2), 0, False)
@@ -27,7 +27,7 @@ class TestL1Invariants:
             l1.fill(addr, MESI.EXCLUSIVE, owner=True)
         assert l1.resident_lines() <= 4096 // 64
 
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     @given(st.lists(lines, min_size=1, max_size=200))
     def test_fill_then_lookup_hits(self, addrs):
         """The most recent fill of a set is always still resident."""
@@ -36,7 +36,7 @@ class TestL1Invariants:
             l1.fill(addr, MESI.SHARED, owner=False)
             assert l1.lookup(addr, AccessKind.LOAD).hit
 
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     @given(st.lists(st.tuples(lines, st.booleans()), min_size=1, max_size=200))
     def test_eviction_conservation(self, ops):
         """fills - evictions == resident lines (nothing vanishes)."""
@@ -56,7 +56,7 @@ class TestL1Invariants:
                 resident.discard(ev.addr)
         assert l1.resident_lines() == installed - evicted == len(resident)
 
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     @given(st.lists(lines, min_size=1, max_size=100), lines)
     def test_invalidate_removes_exactly_one(self, addrs, target):
         l1 = L1Cache(L1Params(size_bytes=8192, assoc=2), 0, False)

@@ -9,7 +9,7 @@ nodes16 = st.integers(min_value=0, max_value=15)
 
 
 class TestCmiPlanProperties:
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     @given(st.sets(nodes16, max_size=16), nodes16, nodes16)
     def test_plan_invariants(self, sharers, home, requester):
         topo = mesh2d(4, 4)
@@ -26,7 +26,7 @@ class TestCmiPlanProperties:
         # 4. no empty chains
         assert all(chain for chain in plan.chains)
 
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     @given(st.sets(st.integers(min_value=0, max_value=9), min_size=5,
                    max_size=10))
     def test_chains_balanced(self, sharers):

@@ -30,7 +30,7 @@ class RecordedWorkload:
         return WorkloadThread(iter(items))
 
 
-@settings(max_examples=15, deadline=None,
+@settings(max_examples=15,
           suppress_health_check=[HealthCheck.too_slow])
 @given(st.lists(op, min_size=1, max_size=120))
 def test_random_interleavings_stay_coherent(ops):
@@ -48,7 +48,7 @@ def test_random_interleavings_stay_coherent(ops):
     checker.verify_quiesced()
 
 
-@settings(max_examples=10, deadline=None,
+@settings(max_examples=10,
           suppress_health_check=[HealthCheck.too_slow])
 @given(st.lists(op, min_size=1, max_size=60))
 def test_versions_monotonic_in_memory(ops):

@@ -46,7 +46,7 @@ def straight_line_program(n_actions):
 
 
 class TestSequencerProperties:
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     @given(st.integers(min_value=1, max_value=14))
     def test_straight_line_executes_all(self, n):
         asm = Assembler("p")
@@ -64,7 +64,7 @@ class TestSequencerProperties:
         assert executed == n
         assert fired == list(range(n))
 
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     @given(st.dictionaries(st.integers(0, 15), st.just("target"),
                            min_size=1, max_size=16),
            st.integers(0, 15))
@@ -96,7 +96,7 @@ class TestSequencerProperties:
                 pass  # unprogrammed slot: detected, not silently wrong
             assert fired == []
 
-    @settings(max_examples=20, deadline=None)
+    @settings(max_examples=20)
     @given(st.integers(1, 10))
     def test_microstore_usage_accounting(self, n):
         asm = Assembler("p")

@@ -38,7 +38,7 @@ traffic = st.lists(
 
 
 class TestDeliveryProperties:
-    @settings(max_examples=25, deadline=None,
+    @settings(max_examples=25,
               suppress_health_check=[HealthCheck.too_slow])
     @given(st.integers(0, 1000), traffic)
     def test_every_packet_delivered_exactly_once(self, seed, flows):
@@ -58,7 +58,7 @@ class TestDeliveryProperties:
         for node in topo.nodes:
             assert len(received[node]) == expected[node]
 
-    @settings(max_examples=15, deadline=None,
+    @settings(max_examples=15,
               suppress_health_check=[HealthCheck.too_slow])
     @given(st.integers(0, 500))
     def test_latency_lower_bounded_by_distance(self, seed):

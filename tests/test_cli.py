@@ -61,3 +61,35 @@ class TestCli:
     def test_unknown_config_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "--config", "P99"])
+
+
+class TestFuzzCli:
+    def test_clean_run_exits_zero(self, capsys):
+        assert main(["fuzz", "--seed", "7", "--ops", "200",
+                     "--nodes", "2", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "clean:" in out
+        assert "ref_reads=" in out
+
+    def test_mutated_run_exits_one_with_trace(self, capsys):
+        assert main(["fuzz", "--seed", "0", "--ops", "240", "--nodes", "2",
+                     "--mutate", "stale_share/3", "--check",
+                     "--trace"]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATION MemoryModelViolation:lost-update" in out
+        assert "protocol trace tail:" in out
+
+    def test_unknown_mutation_rejected(self, capsys):
+        assert main(["fuzz", "--mutate", "nosuch"]) == 2
+        assert "unknown mutation" in capsys.readouterr().err
+
+    def test_shrink_writes_replayable_reproducer(self, tmp_path, capsys):
+        out_path = str(tmp_path / "r.json")
+        assert main(["fuzz", "--seed", "0", "--ops", "240", "--nodes", "2",
+                     "--mutate", "stale_share/3", "--shrink", "150",
+                     "--out", out_path]) == 1
+        out = capsys.readouterr().out
+        assert "minimal:" in out and "REPRODUCED" in out
+        assert main(["fuzz", "--replay", out_path]) == 0
+        out = capsys.readouterr().out
+        assert "REPRODUCED" in out

@@ -1,0 +1,279 @@
+"""Tests for the differential fuzzing subsystem (src/repro/fuzz/).
+
+Covers the program representation, the seeded stimulus generator, the
+axiomatic reference checker (unit-level, no simulator), the mutation
+registry, end-to-end detection of injected protocol bugs, and the
+delta-debugging shrinker.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.fuzz import (
+    MUTATIONS,
+    FuzzProgram,
+    MemoryModelViolation,
+    ReferenceChecker,
+    Reproducer,
+    generate,
+    params_for,
+    replay,
+    run_fuzz_program,
+    shrink_failure,
+    violation_signature,
+)
+from repro.fuzz.shrink import _ddmin
+from repro.fuzz.stimulus import StimulusParams, build_pool
+
+
+# ---------------------------------------------------------------------------
+# program representation
+
+
+def test_program_roundtrip():
+    prog = generate(params_for(3, total_ops=120, nodes=2))
+    clone = FuzzProgram.from_dict(prog.to_dict())
+    assert clone == prog
+    assert clone.canonical_json() == prog.canonical_json()
+
+
+def test_program_validate_rejects_bad_programs():
+    prog = generate(params_for(0, total_ops=60, nodes=1))
+    with pytest.raises(ValueError):
+        dataclasses.replace(prog, pool=(0x1001,)).validate()  # misaligned
+    bad_slot = [list(ops) for ops in prog.ops]
+    bad_slot[0] = [("ld", len(prog.pool), 1)]
+    with pytest.raises(ValueError):
+        prog.with_ops([tuple(map(tuple, ops)) for ops in bad_slot]).validate()
+    bad_gap = [list(ops) for ops in prog.ops]
+    bad_gap[0] = [("ld", 0, 0)]
+    with pytest.raises(ValueError):
+        prog.with_ops([tuple(map(tuple, ops)) for ops in bad_gap]).validate()
+
+
+def test_reproducer_roundtrip(tmp_path):
+    prog = generate(params_for(1, total_ops=60, nodes=1))
+    repro = Reproducer(program=prog, signature="X:y", kind="y",
+                       message="m", trace_window=["a", "b"],
+                       shrunk_from_ops=60, shrink_runs=5)
+    path = tmp_path / "r.json"
+    repro.save(str(path))
+    loaded = Reproducer.load(str(path))
+    assert loaded.program == prog
+    assert loaded.signature == "X:y"
+    assert loaded.trace_window == ["a", "b"]
+    with pytest.raises(ValueError):
+        doc = json.loads(path.read_text())
+        doc["schema"] = "other/9"
+        Reproducer.from_dict(doc)
+
+
+# ---------------------------------------------------------------------------
+# stimulus generator
+
+
+def test_generator_deterministic():
+    a = generate(params_for(11, total_ops=200, nodes=2))
+    b = generate(params_for(11, total_ops=200, nodes=2))
+    assert a.canonical_json() == b.canonical_json()
+    c = generate(params_for(12, total_ops=200, nodes=2))
+    assert c.canonical_json() != a.canonical_json()
+
+
+def test_generator_contention_shapes():
+    params = StimulusParams(seed=5, pool_lines=8, false_share_pairs=2)
+    pool = build_pool(params)
+    # false-sharing pairs alias existing lines: more slots than lines
+    assert len(pool) == 10
+    assert len(set(pool)) == 8
+    prog = generate(params_for(5, total_ops=400, nodes=2))
+    kinds = [k for ops in prog.ops for k, _s, _g in ops]
+    # the weighted mix produces every op class, membars included
+    assert {"ld", "st", "wh", "mb"} <= set(kinds)
+    prog.validate()
+
+
+# ---------------------------------------------------------------------------
+# reference checker axioms (unit-level, no simulator)
+
+
+LINE = 0x4000_0000
+
+
+def test_reference_lost_update():
+    ref = ReferenceChecker(2)
+    ref.on_write(0, 0, LINE, 1)
+    with pytest.raises(MemoryModelViolation) as exc:
+        ref.on_write(1, 0, LINE, 1)
+    assert exc.value.kind == "lost-update"
+
+
+def test_reference_version_skip():
+    ref = ReferenceChecker(1)
+    ref.on_write(0, 0, LINE, 1)
+    with pytest.raises(MemoryModelViolation) as exc:
+        ref.on_write(0, 1, LINE, 3)
+    assert exc.value.kind == "version-skip"
+
+
+def test_reference_read_coherence_regress():
+    ref = ReferenceChecker(2)
+    ref.on_write(0, 0, LINE, 1)
+    ref.on_write(0, 1, LINE, 2)
+    ref.on_read(1, 0, LINE, 2)
+    with pytest.raises(MemoryModelViolation) as exc:
+        ref.on_read(1, 1, LINE, 1)
+    assert exc.value.kind == "coherence-regress"
+
+
+def test_reference_stale_read_is_legal_without_membar():
+    # Alpha-style relaxed ordering: reading an old (but previously
+    # unseen) version with no membar in between is NOT a violation.
+    ref = ReferenceChecker(2)
+    ref.on_write(0, 0, LINE, 1)
+    ref.on_write(0, 1, LINE, 2)
+    ref.on_read(1, 0, LINE, 1)  # globally stale, locally fresh: legal
+    assert ref.stale_reads == 1
+
+
+def test_reference_mp_membar_axiom():
+    # Message-passing: consumer membars after seeing the flag, so the
+    # producer's pre-membar data write becomes a lower bound.
+    ref = ReferenceChecker(2)
+    DATA, FLAG = LINE, LINE + 64
+    ref.on_write(0, 0, DATA, 1)      # producer: st data
+    ref.on_membar(0)                 # producer: membar
+    ref.on_write(0, 2, FLAG, 1)      # producer: st flag (carries frontier)
+    ref.on_read(1, 0, FLAG, 1)       # consumer: sees new flag
+    ref.on_membar(1)                 # consumer: membar acquires frontier
+    with pytest.raises(MemoryModelViolation) as exc:
+        ref.on_read(1, 2, DATA, 0)   # ...must now see data >= 1
+    assert exc.value.kind == "mp-stale"
+
+
+def test_reference_fabricated_version():
+    ref = ReferenceChecker(1)
+    with pytest.raises(MemoryModelViolation) as exc:
+        ref.on_read(0, 0, LINE, 4)
+    assert exc.value.kind == "fabricated-version"
+
+
+def test_reference_zero_fill_telemetry():
+    ref = ReferenceChecker(2)
+    ref.on_write(0, 0, LINE, 1, kind="wh")
+    ref.on_read(1, 0, LINE, 1)
+    assert ref.zero_fill_reads == 1
+
+
+def test_reference_final_check_write_count():
+    ref = ReferenceChecker(1)
+    ref.on_write(0, 0, LINE, 1)
+    ref.on_write(0, 1, LINE, 2)
+    ref.final_check([], {LINE: 2})                     # consistent: fine
+    ref.write_counts[LINE] = 3                         # one write vanished
+    with pytest.raises(MemoryModelViolation) as exc:
+        ref.final_check([], {LINE: 2})
+    assert exc.value.kind == "write-count-mismatch"
+
+
+def test_reference_final_check_residual_fabricated():
+    ref = ReferenceChecker(1)
+    ref.on_write(0, 0, LINE, 1)
+    with pytest.raises(MemoryModelViolation) as exc:
+        ref.final_check([("node0.dl1-0", LINE, 7)], {})
+    assert exc.value.kind == "residual-fabricated"
+
+
+# ---------------------------------------------------------------------------
+# end-to-end runs
+
+
+def test_clean_run_accounts_every_op():
+    prog = generate(params_for(7, total_ops=240, nodes=2))
+    verdict = run_fuzz_program(prog)
+    assert verdict.ok, verdict.message
+    c = verdict.counts
+    assert c["ops_executed"] == prog.op_count
+    assert (c["ref_reads"] + c["ref_writes"] + c["ref_membars"]
+            == c["ops_executed"])
+
+
+def test_run_deterministic():
+    prog = generate(params_for(9, total_ops=200, nodes=2))
+    a = run_fuzz_program(prog)
+    b = run_fuzz_program(prog)
+    assert a.ok and b.ok
+    assert a.counts == b.counts
+
+
+def test_empty_program_is_clean():
+    prog = generate(params_for(0, total_ops=60, nodes=1))
+    empty = prog.with_ops([() for _ in prog.ops])
+    assert run_fuzz_program(empty).ok
+
+
+def test_mutation_registry_names():
+    assert {"lost_inval", "stale_share", "skip_fence"} <= set(MUTATIONS)
+
+
+def test_stale_share_caught_by_reference_not_sanitizer():
+    # stale_share keeps every structure consistent (states, owners,
+    # directory) and only corrupts the *value* a SHARED fill carries —
+    # exactly the class of bug the structural sanitizer cannot see.
+    prog = dataclasses.replace(
+        generate(params_for(0, total_ops=240, nodes=2)),
+        mutation="stale_share", mutation_period=3)
+    verdict = run_fuzz_program(prog, check=True)
+    assert not verdict.ok
+    assert verdict.signature == "MemoryModelViolation:lost-update"
+    assert verdict.trace_window  # protocol context captured
+
+
+def test_lost_inval_caught():
+    prog = dataclasses.replace(
+        generate(params_for(0, total_ops=240, nodes=2)),
+        mutation="lost_inval", mutation_period=2)
+    verdict = run_fuzz_program(prog, check=True)
+    assert not verdict.ok
+    # either oracle may fire first; both identify the stale-copy bug
+    assert verdict.signature.startswith(
+        ("MemoryModelViolation:", "CoherenceViolation:"))
+
+
+# ---------------------------------------------------------------------------
+# shrinking
+
+
+def test_ddmin_minimises_synthetic_predicate():
+    ops = [("ld", i, 1) for i in range(40)]
+    need = {ops[3], ops[17]}
+
+    def fails(candidate):
+        return need <= set(candidate)
+
+    minimal = _ddmin(ops, fails)
+    assert set(minimal) == need
+
+
+def test_signature_normalises_addresses_and_counts():
+    sig = violation_signature(RuntimeError("line 0x4000a000: 12 copies"))
+    assert sig == "RuntimeError:line #: # copies"
+    exc = MemoryModelViolation("mp-stale", "cpu3 op#9 detail")
+    assert violation_signature(exc) == "MemoryModelViolation:mp-stale"
+
+
+def test_shrink_to_small_reproducer_and_replay():
+    prog = dataclasses.replace(
+        generate(params_for(0, total_ops=240, nodes=2)),
+        mutation="stale_share", mutation_period=3)
+    verdict = run_fuzz_program(prog)
+    assert not verdict.ok
+    repro = shrink_failure(prog, verdict, budget=250)
+    assert repro.program.op_count <= 25
+    assert repro.program.op_count < prog.op_count
+    assert repro.signature == verdict.signature
+    again = replay(repro)
+    assert not again.ok
+    assert again.signature == repro.signature

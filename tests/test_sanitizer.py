@@ -174,6 +174,73 @@ class TestInjectedMutations:
             audit_tsrf(system, quiesced=True)
         assert "serialisation state leaked" in str(exc.value)
 
+    def test_silent_directory_entry_drop_detected(self):
+        """Mutate the home directory to forget a remote holder (the
+        silent-drop bug: an entry write that lost the sharer vector).
+        The directory cross-audit must flag the now-hidden remote copy."""
+        from repro.core.directory import DirectoryEntry
+
+        system, _ = small_migratory(nodes=2)
+        system.run_to_completion()
+        # find a line some node holds whose home is the *other* node
+        victim = None
+        for node in system.nodes:
+            for bank in node.banks:
+                held = set(bank.resident_line_addrs())
+                for line, entry in bank.dup.entries.items():
+                    if entry.sharers:
+                        held.add(line)
+                for line in held:
+                    home = system.address_map.home_of(line)
+                    if home != node.node_id:
+                        victim = (home, line)
+                        break
+                if victim:
+                    break
+            if victim:
+                break
+        assert victim is not None, "migratory run must leave remote copies"
+        home, line = victim
+        system.dirstores[home].write(line, DirectoryEntry.uncached())
+        with pytest.raises(CoherenceViolation) as exc:
+            audit_system(system, quiesced=True)
+        assert "hidden remote copy" in str(exc.value)
+
+    def test_duplicate_owner_claim_detected(self):
+        """Mutate the duplicate tags so a departed cache still claims
+        ownership (two ownership handoffs racing: the second left the
+        owner field naming a cache that is no longer a sharer)."""
+        system, _ = small_migratory(nodes=1, iterations=60)
+        system.run_to_completion()
+        entry = bank = None
+        for b in system.nodes[0].banks:
+            for _line, e in b.dup.entries.items():
+                if e.sharers:
+                    bank, entry = b, e
+                    break
+            if entry:
+                break
+        assert entry is not None
+        entry.owner = max(entry.sharers) + 2  # never a recorded sharer
+        with pytest.raises(CoherenceViolation) as exc:
+            audit_system(system, quiesced=True)
+        assert "is not a sharer" in str(exc.value)
+
+    def test_stale_dup_tag_detected(self):
+        """Mutate the duplicate tags to keep mirroring a line after its
+        L1 copy is gone (a replacement whose dup-tag update was lost).
+        The exact-mirror audit must flag the stale tag."""
+        system, _ = small_migratory(nodes=1, iterations=60)
+        system.run_to_completion()
+        node = system.nodes[0]
+        bank = node.banks[0]
+        # a line no L1 holds: far outside the workload's footprint
+        stale_line = 0x7FFF_0000
+        bank.dup.add_sharer(stale_line, 0, MESI.SHARED, make_owner=True)
+        with pytest.raises(CoherenceViolation) as exc:
+            audit_system(system, quiesced=True)
+        assert "does not hold it" in str(exc.value)
+
     def test_non_inclusion_breach_detected(self):
         from repro.workloads import PrivateStream
 
