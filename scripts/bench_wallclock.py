@@ -26,6 +26,11 @@ Usage::
 the interval sampler off/on and appends the overhead comparison to
 ``BENCH_observability.json`` instead.
 
+``--checkpoint`` times a warm-up-heavy 8-point sweep three ways —
+baseline, cold-with-snapshot-capture, and restored-from-warm-checkpoint
+— and appends the amortised warm-up speedup to
+``BENCH_checkpoint.json``.
+
 Determinism makes the measurements comparable across runs: the simulated
 results are bit-for-bit identical in every mode, only wall-clock varies.
 """
@@ -202,6 +207,116 @@ def bench_observability(scale: float, probe_rate: int = 64,
     }
 
 
+def bench_checkpoint(points: int = 8, jobs: int = 1) -> dict:
+    """Amortised warm-up speedup from measurement-boundary snapshots.
+
+    A warm-up-heavy OLTP mix (120 warm-up vs 20 measured transactions)
+    swept over *points* L2 sizes, three ways over identical records:
+
+    * **baseline**: every point simulates warm-up + measurement;
+    * **cold capture**: ``warmup=True`` with an empty warm store — same
+      work plus the snapshot cost (captures the overhead);
+    * **warm restore**: ``warmup=True`` again with the result caches
+      cleared but the snapshots kept — every point restores its warm
+      state and simulates only the measurement phase.
+
+    ``speedup_restore`` (baseline / warm-restore) is the headline
+    amortisation number for ``--resume`` and repeated measurement fans.
+    """
+    from repro.harness import OltpFactory, clear_cache
+    from repro.harness.runner import DISK_CACHE
+    from repro.harness.sweep import sweep_field
+    from repro.workloads import OltpParams
+
+    params = OltpParams(transactions=20, warmup_transactions=120)
+    factory = OltpFactory(params)
+    values = [(256 + 128 * i) << 10 for i in range(points)]
+
+    def timed(warmup: bool) -> "tuple[float, list]":
+        # clear the result caches (memo + disk json) every pass so each
+        # pass actually simulates; warm .ckpt snapshots survive
+        clear_cache()
+        DISK_CACHE.clear()
+        t0 = time.perf_counter()
+        records = sweep_field("P2", factory, "l2.size_bytes", values,
+                              jobs=jobs, warmup=warmup)
+        return time.perf_counter() - t0, records
+
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-ckpt-")
+    old_cache_dir = os.environ.get("REPRO_CACHE_DIR")
+    old_no_cache = os.environ.pop("REPRO_NO_CACHE", None)
+    try:
+        os.environ["REPRO_CACHE_DIR"] = cache_dir
+        baseline_s, baseline_records = timed(False)
+        cold_s, cold_records = timed(True)
+        warm_s, warm_records = timed(True)
+        from repro.checkpoint import WARM_STORE
+
+        store = WARM_STORE.info()
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+        if old_cache_dir is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = old_cache_dir
+        if old_no_cache is not None:
+            os.environ["REPRO_NO_CACHE"] = old_no_cache
+
+    assert cold_records == baseline_records, \
+        "cold-capture sweep diverged from baseline records"
+    assert warm_records == baseline_records, \
+        "warm-restore sweep diverged from baseline records"
+    return {
+        "points": points,
+        "jobs": jobs,
+        "warmup_transactions": params.warmup_transactions,
+        "measured_transactions": params.transactions,
+        "baseline_s": round(baseline_s, 4),
+        "cold_capture_s": round(cold_s, 4),
+        "warm_restore_s": round(warm_s, 4),
+        "capture_overhead_pct": round((cold_s / baseline_s - 1) * 100, 2),
+        "speedup_restore": round(baseline_s / warm_s, 2),
+        "snapshots": store["entries"],
+        "snapshot_bytes": store["bytes"],
+        "records_identical": True,
+    }
+
+
+def run_checkpoint(args) -> int:
+    """``--checkpoint``: record the warm-restore amortisation numbers."""
+    points = 3 if args.quick else 8
+    jobs = args.jobs if args.jobs is not None else 1
+    print(f"checkpoint amortisation ({points}-point L2 sweep, "
+          f"warm-up-heavy OLTP, jobs={jobs})...")
+    ckpt = bench_checkpoint(points=points, jobs=jobs)
+    print(f"  baseline {ckpt['baseline_s']}s, "
+          f"cold+capture {ckpt['cold_capture_s']}s "
+          f"({ckpt['capture_overhead_pct']:+.1f}%), "
+          f"warm-restore {ckpt['warm_restore_s']}s "
+          f"(speedup {ckpt['speedup_restore']}x, "
+          f"{ckpt['snapshots']} snapshots)")
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "cores": os.cpu_count() or 1,
+        "python": sys.version.split()[0],
+        "checkpoint": ckpt,
+    }
+    out = os.path.join(REPO_ROOT, "BENCH_checkpoint.json")
+    history = {"records": []}
+    if os.path.exists(out):
+        try:
+            with open(out, "r", encoding="utf-8") as f:
+                history = json.load(f)
+        except (OSError, ValueError):
+            pass
+    history.setdefault("records", []).append(record)
+    with open(out, "w", encoding="utf-8") as f:
+        json.dump(history, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"appended record to {out}")
+    return 0
+
+
 def run_observability(args) -> int:
     """``--observability``: record the probe-overhead comparison."""
     print(f"observability overhead (P8 OLTP, scale={args.scale})...")
@@ -252,10 +367,16 @@ def main(argv=None) -> int:
                         help="only run the probes-off/probes-on overhead "
                              "comparison (appends to "
                              "BENCH_observability.json)")
+    parser.add_argument("--checkpoint", action="store_true",
+                        help="only run the warm-checkpoint amortisation "
+                             "comparison (appends to "
+                             "BENCH_checkpoint.json)")
     args = parser.parse_args(argv)
 
     if args.observability:
         return run_observability(args)
+    if args.checkpoint:
+        return run_checkpoint(args)
 
     os.environ["REPRO_SCALE"] = str(args.scale)
     cores = os.cpu_count() or 1

@@ -9,6 +9,11 @@ Runs one workload on one configuration and prints the standard report::
     python -m repro report --workload oltp --json
     python -m repro sweep --config P8 --workload oltp \
         --field l2.size_bytes --values 512K,1M,2M --jobs 4
+    python -m repro sweep ... --warmup --resume
+    python -m repro checkpoint save --config P8 --workload oltp \
+        --out warm.ckpt
+    python -m repro checkpoint info warm.ckpt
+    python -m repro checkpoint restore warm.ckpt --metrics out.json
     python -m repro cache
     python -m repro cache --clear
     python -m repro table1
@@ -115,14 +120,58 @@ def _emit_metrics(system, args, path: str) -> None:
         print(f"time-series written to {csv_path}")
 
 
+def _bisect_run_violation(checkpointer, args: argparse.Namespace) -> None:
+    """After a sanitizer violation under ``--checkpoint-every``: restore
+    the most recent pre-violation snapshot, arm the protocol trace at
+    full capacity, and replay only the final window — the interesting
+    history is guaranteed to fit the ring."""
+    if checkpointer is None or checkpointer.latest() is None:
+        print("(no snapshot buffered; rerun with --checkpoint-every to "
+              "bisect, or --trace for a whole-run trace)")
+        return
+    from .checkpoint import restore_system
+
+    now_ps, payload = checkpointer.latest()
+    print(f"\nbisecting: restoring snapshot @ {now_ps / 1e6:.1f} us and "
+          f"replaying the final window with the trace armed ...")
+    replay = restore_system(payload)
+    replay.arm_trace(max(getattr(args, "trace", 0) or 0, 512))
+    try:
+        replay.run_to_completion()
+        replay.verify()
+    except AssertionError as exc:
+        print(f"violation recurred in replay: {exc}")
+    else:
+        print("violation did not recur in the replayed window "
+              "(depends on earlier state; shorten --checkpoint-every)")
+    print("\nprotocol trace tail (replayed window):")
+    for line in replay.checker.trace.dump(last=32).splitlines():
+        print("  " + line)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """``run``: simulate one workload on one configuration."""
     config, system, checker = _build_checked_system(args)
+    checkpointer = None
+    every_us = getattr(args, "checkpoint_every", 0) or 0
+    if every_us:
+        from .checkpoint import PeriodicCheckpointer
+
+        checkpointer = PeriodicCheckpointer(system, int(every_us * 1e6))
+        checkpointer.start()
     print(f"simulating {args.workload} on {args.nodes} x {config.name} "
           f"({config.cpus * args.nodes} CPUs) ...")
-    finish = system.run_to_completion()
-    if checker is not None:
-        telemetry = system.verify()
+    try:
+        finish = system.run_to_completion()
+        telemetry = system.verify() if checker is not None else None
+    except AssertionError as exc:
+        # CoherenceViolation from the sanitizer (mid-run audit or quiesce
+        # verify): with the flight recorder armed, restore the last
+        # pre-violation snapshot and replay the final window traced
+        print(f"VIOLATION: {exc}")
+        _bisect_run_violation(checkpointer, args)
+        return 1
+    if telemetry is not None:
         audits = int(telemetry.get("audit_continuous_runs", 0))
         print(f"protocol sanitizer audit: OK "
               f"({audits} continuous audits, "
@@ -234,7 +283,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     try:
         records = sweep_field(
             args.config, factory, args.field, values, num_nodes=args.nodes,
-            units_attr=UNITS_ATTR[args.workload], jobs=args.jobs)
+            units_attr=UNITS_ATTR[args.workload], jobs=args.jobs,
+            warmup=args.warmup, resume=args.resume)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -296,8 +346,10 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         program = dataclasses.replace(
             program, mutation=name, mutation_period=int(period or 1))
     print(f"fuzzing: {program.describe()}")
+    every_ps = int((args.checkpoint_every or 0) * 1e6)
     verdict = run_fuzz_program(program, check=args.check,
-                               trace_capacity=trace_cap)
+                               trace_capacity=trace_cap,
+                               checkpoint_every_ps=every_ps)
     if verdict.ok:
         counts = verdict.counts
         print("clean: " + ", ".join(
@@ -308,6 +360,15 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     if verdict.trace_window:
         print("\nprotocol trace tail:")
         for line in verdict.trace_window[-args.tail:]:
+            print("  " + line)
+    if verdict.bisect:
+        info = verdict.bisect
+        print(f"\nbisection: restored snapshot @ "
+              f"{info['restored_from_ps'] / 1e6:.1f} us "
+              f"({info['captures']} captured), replayed final window -> "
+              f"{'RECURRED' if info['recurred'] else 'did not recur'} "
+              f"({info.get('replay_signature') or 'clean'})")
+        for line in (info.get("trace_window") or [])[-args.tail:]:
             print("  " + line)
     if args.shrink:
         print(f"\nshrinking (budget {args.shrink} runs) ...")
@@ -324,6 +385,83 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         print(f"reproducer replay: "
               f"{'REPRODUCED' if check.signature == repro.signature else 'DIVERGED'}")
     return 1
+
+
+def cmd_checkpoint(args: argparse.Namespace) -> int:
+    """``checkpoint``: save, restore or inspect machine snapshots."""
+    import json
+
+    from .checkpoint import (CheckpointError, WarmCapture, checkpoint_info,
+                             load_checkpoint, save_checkpoint)
+
+    if args.verb == "save":
+        config, system, _checker = _build_checked_system(args)
+        capture = WarmCapture(system, halt=True)
+        print(f"warming {args.workload} on {args.nodes} x {config.name} "
+              f"({config.cpus * args.nodes} CPUs) ...")
+        system.start()
+        system.sim.run()
+        if not capture.captured:
+            print("error: the workload finished before its warm-up "
+                  "boundary; nothing worth checkpointing", file=sys.stderr)
+            return 1
+        manifest = save_checkpoint(
+            args.out, system, payload=capture.payload,
+            sim_now=capture.sim_now, workload=args.workload,
+            extra={
+                "config_name": args.config,
+                "scale": args.scale,
+                "check": bool(args.check),
+                "probe_rate": getattr(args, "probe_rate", 0) or 0,
+                "sample_interval_us": getattr(args, "sample_interval", 0)
+                                      or 0,
+            })
+        print(f"checkpoint written to {args.out}: warm boundary @ "
+              f"{manifest['sim_now'] / 1e6:.1f} us, "
+              f"{manifest['payload_bytes']:,} bytes "
+              f"(sha256 {manifest['payload_sha256'][:12]}...)")
+        return 0
+
+    if args.verb == "info":
+        try:
+            manifest = checkpoint_info(args.path)
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(json.dumps(manifest, indent=2, sort_keys=True))
+        return 0
+
+    # restore: finish the measurement phase from the snapshot
+    try:
+        manifest, system = load_checkpoint(args.path, force=args.force)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"restored {manifest.get('workload')} on "
+          f"{manifest.get('nodes')} node(s) @ "
+          f"{manifest['sim_now'] / 1e6:.1f} us; resuming ...")
+    finish = system.run_to_completion()
+    if system.checker is not None and manifest.get("check"):
+        system.verify()
+        print("protocol sanitizer audit: OK")
+    summary = system.execution_summary()
+    total = summary["total_ps"] or 1
+    print(f"\nsimulated time : {finish / 1e6:.1f} us "
+          f"(measurement window "
+          f"{(finish - manifest['sim_now']) / 1e6:.1f} us)")
+    print(f"instructions   : {summary['instructions']:,}")
+    print(breakdown_bar(
+        f"{system.config.name}/{manifest.get('workload')}",
+        summary["busy_ps"] / total, summary["l2_stall_ps"] / total,
+        summary["mem_stall_ps"] / total))
+    if args.metrics:
+        # emit with the probe/sampler rates the snapshot was taken with,
+        # so the document is byte-identical to an uninterrupted
+        # ``repro run --metrics`` at the same settings
+        args.probe_rate = manifest.get("probe_rate", 0) or 0
+        args.sample_interval = manifest.get("sample_interval_us", 0) or 0
+        _emit_metrics(system, args, args.metrics)
+    return 0
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -411,6 +549,12 @@ def main(argv=None) -> int:
                        metavar="US",
                        help="time-series sampling period in simulated "
                             "microseconds (0 = off)")
+    run_p.add_argument("--checkpoint-every", type=float, default=0,
+                       metavar="US",
+                       help="keep rolling machine snapshots every US "
+                            "simulated microseconds; on a sanitizer "
+                            "violation, restore the last one and replay "
+                            "the final window with the trace armed")
     run_p.set_defaults(fn=cmd_run)
 
     report_p = sub.add_parser(
@@ -467,6 +611,15 @@ def main(argv=None) -> int:
     sweep_p.add_argument("--jobs", type=int, default=None,
                         help="worker processes (default: REPRO_JOBS or 1; "
                              "0 = all cores)")
+    sweep_p.add_argument("--warmup", action="store_true",
+                         help="warm each point once, snapshot at the "
+                              "measurement boundary, and measure from the "
+                              "shared warm checkpoint")
+    sweep_p.add_argument("--resume", action="store_true",
+                         help="continue an interrupted sweep: completed "
+                              "points answer from the result cache, "
+                              "interrupted ones restore their warm "
+                              "snapshot (implies --warmup)")
     sweep_p.set_defaults(fn=cmd_sweep)
 
     fuzz_p = sub.add_parser(
@@ -499,7 +652,56 @@ def main(argv=None) -> int:
     fuzz_p.add_argument("--replay", metavar="PATH", default=None,
                         help="replay a saved reproducer; exit 0 iff the "
                              "recorded verdict reproduces")
+    fuzz_p.add_argument("--checkpoint-every", type=float, default=0,
+                        metavar="US",
+                        help="flight-recorder snapshots every US simulated "
+                             "microseconds; violations restore the last "
+                             "pre-violation snapshot and replay only the "
+                             "final window at full trace fidelity")
     fuzz_p.set_defaults(fn=cmd_fuzz)
+
+    ckpt_p = sub.add_parser(
+        "checkpoint", help="save, restore or inspect machine snapshots")
+    ckpt_sub = ckpt_p.add_subparsers(dest="verb", required=True)
+
+    save_p = ckpt_sub.add_parser(
+        "save", help="warm a workload to its measurement boundary and "
+                     "snapshot the whole machine")
+    save_p.add_argument("--config", default="P8", choices=sorted(PRESETS))
+    save_p.add_argument("--workload", default="oltp",
+                        choices=sorted(WORKLOADS))
+    save_p.add_argument("--nodes", type=int, default=1)
+    save_p.add_argument("--scale", type=float, default=1.0,
+                        help="workload size multiplier")
+    save_p.add_argument("--check", action="store_true",
+                        help="arm the protocol sanitizer in the snapshot")
+    save_p.add_argument("--probe-rate", type=int, default=0, metavar="N",
+                        help="latency-probe rate baked into the snapshot")
+    save_p.add_argument("--sample-interval", type=float, default=0,
+                        metavar="US",
+                        help="time-series sampling period baked into the "
+                             "snapshot")
+    save_p.add_argument("--out", required=True, metavar="PATH",
+                        help="checkpoint file to write (.ckpt)")
+    save_p.set_defaults(fn=cmd_checkpoint)
+
+    restore_p = ckpt_sub.add_parser(
+        "restore", help="restore a snapshot and run the measurement "
+                        "phase to completion")
+    restore_p.add_argument("path", help="checkpoint file (.ckpt)")
+    restore_p.add_argument("--metrics", metavar="PATH", default=None,
+                           help="write the structured metrics JSON here "
+                                "(byte-identical to an uninterrupted "
+                                "run at the snapshot's settings)")
+    restore_p.add_argument("--force", action="store_true",
+                           help="restore despite a library-fingerprint "
+                                "mismatch (debugging only)")
+    restore_p.set_defaults(fn=cmd_checkpoint)
+
+    info_p = ckpt_sub.add_parser(
+        "info", help="print a checkpoint's manifest (no restore)")
+    info_p.add_argument("path", help="checkpoint file (.ckpt)")
+    info_p.set_defaults(fn=cmd_checkpoint)
 
     cache_p = sub.add_parser(
         "cache", help="inspect or clear the persistent result cache")

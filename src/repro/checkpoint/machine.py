@@ -1,0 +1,169 @@
+"""Whole-machine snapshot and restore.
+
+A snapshot is one deep pickle of the live simulation graph rooted at the
+:class:`~repro.core.system.PiranhaSystem`: the event queue (with every
+pending continuation — CPU callbacks, MSHR fills, protocol-thread
+wake-ups, the sampler/audit tickers), every cache, directory, TSRF and
+router, the attached workload, and the process-global memory-transaction
+counter.  The pickle memo preserves shared-object identity across the
+graph, so a restored closure over an L2 bank re-links to the *restored*
+bank; :mod:`repro.checkpoint.pickling` handles the local functions and
+lambdas CPython cannot pickle natively.
+
+Capture timing matters: a snapshot taken mid-event would freeze a
+half-executed handler.  Every capture path here runs *between* events —
+:class:`WarmCapture` rides the system's ``on_warm_boundary`` hook (which
+the system schedules as its own 0-delay event), and
+:class:`PeriodicCheckpointer` ticks through ``schedule_every``.
+
+Restores never call :meth:`~repro.core.system.PiranhaSystem.start` —
+the restored event queue already holds the CPU continuations and
+periodic tickers; ``start()`` is idempotent so
+``run_to_completion()`` on a restored system degenerates to
+:meth:`~repro.core.system.PiranhaSystem.resume`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, Optional, Tuple
+
+from ..core import messages
+from . import pickling
+
+__all__ = [
+    "snapshot_bytes", "restore_system",
+    "WarmCapture", "PeriodicCheckpointer",
+]
+
+
+def snapshot_bytes(system) -> bytes:
+    """Serialise a whole simulated machine to a payload byte string.
+
+    Must be called between events (see the module docstring).  Alongside
+    the system graph the payload carries the module-global transaction-id
+    counter (:data:`repro.core.messages._txn_ids`), so restored runs draw
+    the same txn ids as the uninterrupted run — ``itertools.count``
+    pickles to its next value without being consumed.
+    """
+    state = {
+        "system": system,
+        "txn_counter": messages._txn_ids,
+    }
+    return pickling.dumps(state)
+
+
+def restore_system(payload: bytes):
+    """Rebuild the simulated machine from a payload byte string.
+
+    Reassigns the module-global transaction-id counter as a side effect
+    (one simulation runs per process, so the global is unambiguous).
+    Returns the restored :class:`~repro.core.system.PiranhaSystem`; its
+    workload is reachable as ``system.workload``.
+    """
+    state = pickling.loads(payload)
+    messages._txn_ids = state["txn_counter"]
+    return state["system"]
+
+
+class WarmCapture:
+    """Capture one snapshot at the system's warm-up boundary.
+
+    Installs itself as the one-shot ``on_warm_boundary`` callback; the
+    system schedules it as a 0-delay event right after
+    ``reset_module_stats()``, so the snapshot lands between events with
+    all measurement counters freshly zeroed — the canonical point to
+    fan measurement runs out from.
+
+    With ``halt=True`` the remaining event queue is discarded after the
+    capture (the ``repro checkpoint save`` verb wants the snapshot, not
+    the measurement phase).  The capture object itself is unreachable
+    from the system at capture time (the hook was cleared before the
+    event fired), so the snapshot never contains its own bytes.
+
+    *sink*, when given, is called as ``sink(payload, sim_now)`` right at
+    the boundary — the warm store uses it to persist the snapshot
+    *before* the measurement phase runs, so a run killed mid-measurement
+    still leaves its warm state behind for ``--resume``.
+    """
+
+    def __init__(self, system, halt: bool = False, sink=None) -> None:
+        self.system = system
+        self.halt = halt
+        self.sink = sink
+        self.payload: Optional[bytes] = None
+        self.sim_now: Optional[int] = None
+        system.on_warm_boundary = self._capture
+
+    def _capture(self) -> None:
+        self.payload = snapshot_bytes(self.system)
+        self.sim_now = self.system.sim.now
+        if self.sink is not None:
+            self.sink(self.payload, self.sim_now)
+        if self.halt:
+            self.system.sim.halt()
+
+    @property
+    def captured(self) -> bool:
+        return self.payload is not None
+
+
+class PeriodicCheckpointer:
+    """Keep the last *keep* snapshots on a fixed simulated-time period.
+
+    The fuzz/sanitizer flows use this as a flight recorder: when a run
+    dies with a violation, the most recent pre-violation snapshot is
+    restored, the protocol trace is armed at full capacity, and only the
+    final window is replayed — seconds instead of the whole run, with
+    the interesting history guaranteed to fit the trace ring.
+
+    The ticker rides ``schedule_every``, which means the pending tick is
+    itself part of every snapshot (it is an event in the pickled queue).
+    Two consequences are handled here:
+
+    * the blob buffer is swapped out during capture so snapshots never
+      snowball their predecessors into themselves;
+    * a *restored* checkpointer wakes with an empty buffer (its buffer
+      was ``None`` inside its own snapshot) and simply starts refilling.
+    """
+
+    def __init__(self, system, every_ps: int, keep: int = 2) -> None:
+        if every_ps <= 0:
+            raise ValueError("checkpoint period must be positive")
+        if keep < 1:
+            raise ValueError("must keep at least one snapshot")
+        self.system = system
+        self.every_ps = int(every_ps)
+        self.keep = keep
+        self.snapshots: Optional[deque] = deque(maxlen=keep)
+        self.captures = 0
+
+    def start(self) -> None:
+        """Arm the periodic ticker (call once, before the run)."""
+        self.system.sim.schedule_every(self.every_ps, self.tick)
+
+    def tick(self) -> bool:
+        """Capture one snapshot; stays scheduled while CPUs run."""
+        saved, self.snapshots = self.snapshots, None
+        try:
+            payload = snapshot_bytes(self.system)
+            now = self.system.sim.now
+        finally:
+            self.snapshots = (saved if saved is not None
+                              else deque(maxlen=self.keep))
+        self.snapshots.append((now, payload))
+        self.captures += 1
+        return self.system._running_cpus > 0
+
+    def latest(self) -> Optional[Tuple[int, bytes]]:
+        """Most recent ``(sim_now_ps, payload)``, or None."""
+        if not self.snapshots:
+            return None
+        return self.snapshots[-1]
+
+    def telemetry(self) -> Dict[str, Any]:
+        return {
+            "checkpoint_every_ps": self.every_ps,
+            "checkpoint_captures": self.captures,
+            "checkpoint_buffered": len(self.snapshots or ()),
+        }

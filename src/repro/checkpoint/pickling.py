@@ -1,0 +1,171 @@
+"""Closure-capable pickler for whole-machine snapshots.
+
+A snapshot serialises the *live object graph* of a simulation: the event
+queue, every cache and protocol engine, and — unavoidably — the callbacks
+threaded through them.  Most of those callbacks are bound methods, which
+the standard pickler handles (it stores the instance plus the method
+name, and the pickle memo keeps instance identity).  The rest are local
+functions and lambdas: ``on_fill`` closures parked in an L2 bank's MSHR,
+the protocol engines' sender tables, a trace's ``clock`` lambda.  CPython
+refuses to pickle those because they are not importable by qualified
+name.
+
+:class:`CheckpointPickler` fills that gap with a ``reducer_override`` for
+function objects that cannot be recovered by import:
+
+* the code object is serialised with :mod:`marshal` (version-exact but
+  fully faithful — including nested code constants);
+* globals are **not** serialised; the rebuilt function binds to
+  ``sys.modules[module].__dict__``, so a restored closure sees the live
+  module, exactly as the original did;
+* the closure is rebuilt with *fresh* cells whose contents are pickled in
+  the reduce **state** (applied after the function is memoised), so
+  self-referential closures (a cell pointing back at the function, as in
+  recursive local helpers) restore correctly;
+* cell contents go through the same pickler, so a closure over the
+  simulator or an L2 bank re-links to the restored instance via the
+  memo — object identity across the whole snapshot is preserved.
+
+Fresh cells mean cell *identity* is not preserved between two closures
+that captured the same variable.  That is only observable if a closure
+rebinds the captured variable (``nonlocal``); the simulator's closures
+only ever *read* their captured objects, whose identity the memo already
+guarantees.  The trade is deliberate: it keeps the reducer small and
+auditable.
+
+Because :mod:`marshal` is tied to the interpreter's bytecode format, a
+snapshot is only valid on the Python (major.minor) version that wrote
+it.  The checkpoint manifest records the version and the reader enforces
+it (:mod:`repro.checkpoint.format`).
+"""
+
+from __future__ import annotations
+
+import io
+import marshal
+import pickle
+import sys
+import types
+from typing import Any, Optional, Tuple
+
+__all__ = ["CheckpointPickler", "dumps", "loads", "PicklingError"]
+
+PicklingError = pickle.PicklingError
+
+#: Protocol 4 is the newest protocol readable by every CPython this repo
+#: supports; the payload format should not silently change across minor
+#: interpreter upgrades.
+PROTOCOL = 4
+
+
+def _is_importable(fn: types.FunctionType) -> bool:
+    """True when the standard save_global path can recover *fn*."""
+    module = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", None)
+    if module is None or qualname is None or "<locals>" in qualname:
+        return False
+    mod = sys.modules.get(module)
+    if mod is None:
+        return False
+    obj: Any = mod
+    for part in qualname.split("."):
+        obj = getattr(obj, part, None)
+        if obj is None:
+            return False
+    return obj is fn
+
+
+def _make_function(code_bytes: bytes, module: str, nfree: int
+                   ) -> types.FunctionType:
+    """Rebuild a function skeleton: real code, live module globals, and
+    *nfree* fresh empty cells.  Defaults, cell contents and ``__dict__``
+    arrive afterwards via :func:`_function_setstate` — the two-phase
+    build is what lets pickle memoise the function before its (possibly
+    self-referential) closure state is deserialised."""
+    code = marshal.loads(code_bytes)
+    mod = sys.modules.get(module)
+    if mod is not None:
+        globalns = mod.__dict__
+    else:  # pragma: no cover - module vanished between save and load
+        globalns = {"__name__": module, "__builtins__": __builtins__}
+    closure = tuple(types.CellType() for _ in range(nfree))
+    return types.FunctionType(code, globalns, None, None, closure)
+
+
+def _function_setstate(fn: types.FunctionType, state: tuple
+                       ) -> types.FunctionType:
+    """Second phase of function reconstruction (see :func:`_make_function`)."""
+    defaults, kwdefaults, cell_contents, fn_dict, qualname = state
+    fn.__defaults__ = defaults
+    fn.__kwdefaults__ = kwdefaults
+    fn.__qualname__ = qualname
+    if fn_dict:
+        fn.__dict__.update(fn_dict)
+    if fn.__closure__ is not None:
+        for cell, contents in zip(fn.__closure__, cell_contents):
+            if contents is not _EMPTY_CELL:
+                cell.cell_contents = contents
+    return fn
+
+
+class _EmptyCell:
+    """Sentinel for a captured-but-never-assigned cell."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<empty cell>"
+
+    def __reduce__(self) -> str:
+        # deserialise to the module singleton — _function_setstate
+        # compares by identity, so a copy would fill the cell with the
+        # sentinel instead of leaving it empty
+        return "_EMPTY_CELL"
+
+
+_EMPTY_CELL = _EmptyCell()
+
+
+def _cell_payload(cell: types.CellType) -> Any:
+    try:
+        return cell.cell_contents
+    except ValueError:  # empty cell (possible mid-definition)
+        return _EMPTY_CELL
+
+
+class CheckpointPickler(pickle.Pickler):
+    """Pickler that additionally handles non-importable functions."""
+
+    def reducer_override(self, obj: Any):
+        if isinstance(obj, types.FunctionType) and not _is_importable(obj):
+            code_bytes = marshal.dumps(obj.__code__)
+            closure = obj.__closure__ or ()
+            state = (
+                obj.__defaults__,
+                obj.__kwdefaults__,
+                tuple(_cell_payload(c) for c in closure),
+                dict(obj.__dict__),
+                obj.__qualname__,
+            )
+            return (
+                _make_function,
+                (code_bytes, obj.__module__ or "__main__", len(closure)),
+                state,
+                None,
+                None,
+                _function_setstate,
+            )
+        return NotImplemented
+
+
+def dumps(obj: Any, protocol: Optional[int] = None) -> bytes:
+    """Serialise *obj* with closure support; raises on anything that
+    genuinely cannot round-trip (live generators, open files, ...)."""
+    buf = io.BytesIO()
+    CheckpointPickler(buf, protocol if protocol is not None else PROTOCOL
+                      ).dump(obj)
+    return buf.getvalue()
+
+
+def loads(payload: bytes) -> Any:
+    """Inverse of :func:`dumps` (plain unpickling — reconstruction logic
+    lives in the reduce tuples the pickler wrote)."""
+    return pickle.loads(payload)

@@ -243,6 +243,22 @@ class ProbeCollector:
                 "notes": dict(probe.notes),
             })
 
+    # -- checkpoint/restore ----------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Aggregates, sampling cursor and kept samples; in-flight probes
+        live on their MemRequests and ride the event queue instead."""
+        return dict(self.__dict__)
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+
+    def __getstate__(self) -> Dict[str, object]:
+        return self.state_dict()
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.load_state(state)
+
     # -- lifecycle -------------------------------------------------------
 
     def reset(self) -> None:

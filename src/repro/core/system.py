@@ -99,19 +99,42 @@ class PiranhaSystem:
         self._running_cpus = 0
         self._warmed_cpus = 0
         self._on_all_done: Optional[Callable[[], None]] = None
+        self._started = False
+        #: workload attached via :meth:`attach_workload` (checkpoint
+        #: payloads carry it alongside the system)
+        self.workload = None
+        #: one-shot callback fired as a 0-delay event once every CPU has
+        #: crossed its warm-up boundary.  Scheduling (rather than calling
+        #: inline) lets checkpoint capture run *between* events, when the
+        #: event queue is in a consistent snapshot-safe state.
+        self.on_warm_boundary: Optional[Callable[[], None]] = None
 
     # -- workload control -----------------------------------------------------
 
     def attach_workload(self, workload) -> None:
         """Attach a workload object (see :mod:`repro.workloads.base`): it
-        supplies one thread iterator per (node, cpu)."""
+        supplies one thread iterator per (node, cpu).  Each thread is told
+        its (workload, node, cpu) origin so it can rebuild its generator
+        after a checkpoint restore."""
+        self.workload = workload
         for node in self.nodes:
             for cpu in node.cpus:
                 thread = workload.thread_for(node.node_id, cpu.cpu_id)
                 if thread is not None:
+                    bind = getattr(thread, "bind_source", None)
+                    if bind is not None:
+                        bind(workload, node.node_id, cpu.cpu_id)
                     cpu.attach(thread)
 
     def start(self) -> None:
+        """Start every CPU and the periodic observers.  Idempotent: a
+        system restored from a checkpoint is already started — its CPU
+        continuations and observer ticks live in the restored event queue
+        — so a second start must not re-arm anything (duplicate tickers
+        would double-count sampler intervals and audits)."""
+        if self._started:
+            return
+        self._started = True
         for node in self.nodes:
             node.start_cpus()
             self._running_cpus += node.cpus_running
@@ -128,6 +151,9 @@ class PiranhaSystem:
         self._warmed_cpus += 1
         if self._warmed_cpus >= self._running_cpus:
             self.reset_module_stats()
+            if self.on_warm_boundary is not None:
+                callback, self.on_warm_boundary = self.on_warm_boundary, None
+                self.sim.schedule(0, callback)
 
     def reset_module_stats(self) -> None:
         # Time-weighted trackers are anchored at *now* so warm-up
@@ -165,8 +191,18 @@ class PiranhaSystem:
 
     def run_to_completion(self, max_events: Optional[int] = None) -> int:
         """Start every CPU and run until all workload threads finish and
-        the event queue drains.  Returns the finish time (ps)."""
+        the event queue drains.  Returns the finish time (ps).
+
+        On a system restored from a checkpoint :meth:`start` is a no-op,
+        so this is equivalent to :meth:`resume`."""
         self.start()
+        return self.resume(max_events=max_events)
+
+    def resume(self, max_events: Optional[int] = None) -> int:
+        """Run an already-started (e.g. checkpoint-restored) system until
+        the event queue drains; returns the finish time (ps).  Restored
+        systems must not be re-started — their CPU continuations, sampler
+        ticks and audit ticks are already in the event queue."""
         self.sim.run(max_events=max_events)
         if self._running_cpus != 0:
             raise RuntimeError(
@@ -215,6 +251,40 @@ class PiranhaSystem:
         telemetry = audit_system(self, quiesced=quiesced)
         telemetry["audit_continuous_runs"] = float(self.continuous_audits)
         return telemetry
+
+    def arm_trace(self, capacity: int) -> None:
+        """(Re)attach a protocol trace ring of *capacity* events to the
+        checker, refreshing every chip's cached reference (the same
+        refresh pattern as :meth:`enable_probes`).  Used by the violation
+        bisection flow: restore the last pre-violation checkpoint, arm
+        the trace, and replay only the final window at full fidelity."""
+        from .trace import ProtocolTrace
+
+        if self.checker is None:
+            raise RuntimeError(
+                "arm_trace needs a coherence checker (run with check on)")
+        trace = ProtocolTrace(capacity)
+        trace.clock = lambda: self.sim.now
+        self.checker.trace = trace
+        for node in self.nodes:
+            node.trace = trace
+
+    # -- checkpoint/restore ------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Whole-system state (the checkpoint layer serialises this via
+        :mod:`repro.checkpoint.pickling`, which preserves shared-object
+        identity across the graph)."""
+        return dict(self.__dict__)
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+
+    def __getstate__(self) -> Dict[str, object]:
+        return self.state_dict()
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.load_state(state)
 
     # -- observability -----------------------------------------------------------
 

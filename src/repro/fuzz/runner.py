@@ -56,7 +56,8 @@ class FuzzWorkload(Workload):
     name = "fuzz"
     ilp = 1.0
 
-    def __init__(self, program: FuzzProgram) -> None:
+    def __init__(self, program: FuzzProgram,
+                 checkpoint_every_ps: int = 0) -> None:
         program.validate()
         self.program = program
         self.params = _FuzzUnits(
@@ -65,6 +66,10 @@ class FuzzWorkload(Workload):
         self.cursors: List[int] = [0] * program.total_cpus
         self.system = None
         self.mutation_ticker = None
+        #: simulated-time period for the in-memory snapshot flight
+        #: recorder (0 = off); see :func:`run_fuzz_program`'s bisection
+        self.checkpoint_every_ps = checkpoint_every_ps
+        self.checkpointer = None
 
     # -- workload interface ------------------------------------------------
 
@@ -92,6 +97,12 @@ class FuzzWorkload(Workload):
         """Install completion observers and the program's mutation."""
         p = self.program
         self.system = system
+        if self.checkpoint_every_ps:
+            from ..checkpoint import PeriodicCheckpointer
+
+            self.checkpointer = PeriodicCheckpointer(
+                system, self.checkpoint_every_ps)
+            self.checkpointer.start()
         if p.mutation:
             self.mutation_ticker = apply_mutation(system, p.mutation,
                                                   p.mutation_period)
@@ -212,6 +223,10 @@ class FuzzVerdict:
     counts: Dict[str, float] = field(default_factory=dict)
     trace_window: List[str] = field(default_factory=list)
     result: Optional[RunResult] = None
+    #: violation-bisection outcome when periodic checkpointing was armed:
+    #: restored_from_ps, captures, recurred, replay_signature and the
+    #: full-fidelity replay trace window (empty dict otherwise)
+    bisect: Dict[str, object] = field(default_factory=dict)
 
 
 def _trace_tail(workload: FuzzWorkload, last: int = 48) -> List[str]:
@@ -223,8 +238,58 @@ def _trace_tail(workload: FuzzWorkload, last: int = 48) -> List[str]:
     return [ev.format() for ev in trace.events(last=last)]
 
 
+def _bisect_replay(workload: FuzzWorkload, trace_capacity: int,
+                   tail: int = 48) -> Dict[str, object]:
+    """Restore the last pre-violation snapshot and replay the final window.
+
+    Long fuzz runs with small trace rings lose the interesting history by
+    the time a violation fires.  With periodic checkpointing armed, the
+    violation instead becomes: restore the most recent snapshot (strictly
+    before the violation — the capturing tick ran to completion), arm a
+    fresh full-capacity protocol trace, and re-run just the final window.
+    Determinism guarantees the violation recurs, now with its complete
+    event history in the ring.
+    """
+    from types import SimpleNamespace
+
+    from ..checkpoint import restore_system
+
+    ckpt = workload.checkpointer
+    snap = ckpt.latest() if ckpt is not None else None
+    if snap is None:
+        return {}
+    restored_ps, payload = snap
+    info: Dict[str, object] = {
+        "restored_from_ps": restored_ps,
+        "captures": ckpt.captures,
+    }
+    system = restore_system(payload)
+    if system.checker is not None:
+        system.arm_trace(max(trace_capacity, 512))
+    try:
+        system.run_to_completion()
+        system.verify()
+        post_run = getattr(system.workload, "post_run", None)
+        if post_run is not None:
+            post_run(system, SimpleNamespace(extras={}))
+    except (MemoryModelViolation, CoherenceViolation, RuntimeError) as exc:
+        info["recurred"] = True
+        info["replay_signature"] = violation_signature(exc)
+        trace = (system.checker.trace
+                 if system.checker is not None else None)
+        if trace is not None:
+            info["trace_window"] = [
+                ev.format() for ev in trace.events(last=tail)]
+        return info
+    # A non-recurring violation would mean the simulation is not a pure
+    # function of its state — report it rather than hide it.
+    info["recurred"] = False
+    return info
+
+
 def run_fuzz_program(program: FuzzProgram, check: bool = True,
-                     trace_capacity: int = 2048) -> FuzzVerdict:
+                     trace_capacity: int = 2048,
+                     checkpoint_every_ps: int = 0) -> FuzzVerdict:
     """Run one program deterministically; never raises on a violation.
 
     ``check=True`` (the default) arms both oracles: the structural
@@ -233,6 +298,11 @@ def run_fuzz_program(program: FuzzProgram, check: bool = True,
     from either — or a stalled simulation — becomes a failed verdict
     carrying :func:`~repro.fuzz.shrink.violation_signature` and the
     protocol-trace tail.
+
+    ``checkpoint_every_ps`` arms the snapshot flight recorder: on a
+    violation the last pre-violation snapshot is restored and the final
+    window replayed at full trace fidelity (see :func:`_bisect_replay`);
+    the outcome lands in ``FuzzVerdict.bisect``.
     """
     program.validate()
     config = preset(program.config)
@@ -242,7 +312,7 @@ def run_fuzz_program(program: FuzzProgram, check: bool = True,
             f"{program.config} has {config.cpus}")
     if program.op_count == 0:
         return FuzzVerdict(ok=True)
-    workload = FuzzWorkload(program)
+    workload = FuzzWorkload(program, checkpoint_every_ps=checkpoint_every_ps)
     try:
         result = simulate(
             config, lambda _cfg, _n: workload, num_nodes=program.nodes,
@@ -257,6 +327,7 @@ def run_fuzz_program(program: FuzzProgram, check: bool = True,
             message=str(exc),
             counts=dict(workload.reference.counts()),
             trace_window=_trace_tail(workload),
+            bisect=_bisect_replay(workload, trace_capacity),
         )
     return FuzzVerdict(ok=True,
                        counts=dict(result.extras.get("fuzz", {})),

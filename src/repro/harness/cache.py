@@ -56,30 +56,49 @@ def cache_dir() -> str:
     return os.path.join(base, "piranha-repro")
 
 
-def library_fingerprint() -> str:
+def _fingerprint_tree(pkg_dir: str, version: str) -> str:
+    """Digest every ``.py`` file under *pkg_dir*, subpackages included.
+
+    The walk is fully recursive and deterministic (sorted dirs and
+    files), so *every* subpackage — ``repro.fuzz``, ``repro.checkpoint``,
+    anything added later — participates in the fingerprint without
+    needing to be listed anywhere.
+    """
+    h = hashlib.sha256()
+    h.update(version.encode())
+    for root, dirs, files in sorted(os.walk(pkg_dir)):
+        dirs.sort()
+        for fname in sorted(files):
+            if not fname.endswith(".py"):
+                continue
+            path = os.path.join(root, fname)
+            h.update(os.path.relpath(path, pkg_dir).encode())
+            with open(path, "rb") as f:
+                h.update(f.read())
+    return h.hexdigest()
+
+
+def library_fingerprint(root: Optional[str] = None) -> str:
     """Digest of the installed ``repro`` sources (plus ``__version__``).
 
     Computed once per process; any edit to any module under ``repro``
-    yields a different fingerprint, so cached results can never survive a
-    code change that might alter simulation behaviour.
+    (including subpackages such as ``repro.fuzz`` and
+    ``repro.checkpoint``) yields a different fingerprint, so cached
+    results and warm checkpoints can never survive a code change that
+    might alter simulation behaviour.
+
+    *root* overrides the tree to digest (bypassing the per-process memo);
+    it exists so tests can prove subpackage coverage against a synthetic
+    tree.
     """
     global _FINGERPRINT
+    if root is not None:
+        return _fingerprint_tree(root, "")
     if _FINGERPRINT is None:
         import repro
 
-        h = hashlib.sha256()
-        h.update(repro.__version__.encode())
         pkg_dir = os.path.dirname(os.path.abspath(repro.__file__))
-        for root, dirs, files in sorted(os.walk(pkg_dir)):
-            dirs.sort()
-            for fname in sorted(files):
-                if not fname.endswith(".py"):
-                    continue
-                path = os.path.join(root, fname)
-                h.update(os.path.relpath(path, pkg_dir).encode())
-                with open(path, "rb") as f:
-                    h.update(f.read())
-        _FINGERPRINT = h.hexdigest()
+        _FINGERPRINT = _fingerprint_tree(pkg_dir, repro.__version__)
     return _FINGERPRINT
 
 

@@ -50,6 +50,10 @@ class Job:
     trace_capacity: int = 0
     probe_rate: int = 0
     sample_interval_ps: int = 0
+    #: route through the warm-checkpoint store (restore-or-snapshot at the
+    #: warm-up boundary); execution strategy only — never part of a cache
+    #: key, results are byte-identical either way
+    warmup: bool = False
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -69,13 +73,15 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
 
 def _execute(job: Job) -> RunResult:
     """Worker-side entry: plain simulation.  Cache reads and writes stay
-    in the parent so workers never race on the cache directory.  The
-    sanitizer telemetry and the metrics document both live in
-    ``RunResult.extras``, so they ride the pickle back to the parent
-    like any other field."""
+    in the parent so workers never race on the cache directory — with
+    one exception: warm checkpoints are written worker-side (atomic
+    tmp+rename, and distinct points never share a key), because shipping
+    multi-megabyte snapshots back through the result pickle would cost
+    more than the race it avoids."""
     return simulate(job.config, job.factory, job.num_nodes, job.units_attr,
                     job.check_coherence, job.trace_capacity,
-                    job.probe_rate, job.sample_interval_ps)
+                    job.probe_rate, job.sample_interval_ps,
+                    warmup=job.warmup)
 
 
 def _run_serial(job: Job) -> RunResult:
@@ -86,6 +92,7 @@ def _run_serial(job: Job) -> RunResult:
         trace_capacity=job.trace_capacity,
         probe_rate=job.probe_rate,
         sample_interval_ps=job.sample_interval_ps,
+        warmup=job.warmup,
     )
 
 
@@ -97,16 +104,30 @@ def _picklable(job: Job) -> bool:
         return False
 
 
-def run_jobs(jobs_list: Sequence[Job], jobs: Optional[int] = None) -> List[RunResult]:
+def run_jobs(jobs_list: Sequence[Job], jobs: Optional[int] = None,
+             on_result: Optional[Callable[[int, Job, RunResult], None]] = None,
+             ) -> List[RunResult]:
     """Execute every job, in order, using up to *jobs* worker processes.
 
     Results are returned in input order.  Cached points (memo or disk)
     are answered immediately and never dispatched; fresh results are
     written back to both caches by the parent.
+
+    *on_result* is invoked in the parent as ``on_result(index, job,
+    result)`` for every completed point (cached answers included), after
+    the result has been persisted to the caches — resumable sweeps hang
+    their progress manifest on this, so a point marked done in the
+    manifest is guaranteed to be answerable from the cache on re-run.
+    Completion order is not input order for parallel points.
     """
     jobs_list = list(jobs_list)
     n_workers = resolve_jobs(jobs)
     results: List[Optional[RunResult]] = [None] * len(jobs_list)
+
+    def done(i: int, result: RunResult) -> None:
+        results[i] = result
+        if on_result is not None:
+            on_result(i, jobs_list[i], result)
 
     misses: List[int] = []
     for i, job in enumerate(jobs_list):
@@ -115,7 +136,7 @@ def run_jobs(jobs_list: Sequence[Job], jobs: Optional[int] = None) -> List[RunRe
             job.check_coherence, job.cache_key_extra, job.trace_capacity,
             job.probe_rate, job.sample_interval_ps)
         if cached is not None:
-            results[i] = cached
+            done(i, cached)
         else:
             misses.append(i)
 
@@ -138,9 +159,9 @@ def run_jobs(jobs_list: Sequence[Job], jobs: Optional[int] = None) -> List[RunRe
                              job.units_attr, job.check_coherence,
                              job.cache_key_extra, job.trace_capacity,
                              job.probe_rate, job.sample_interval_ps)
-                results[i] = result
+                done(i, result)
 
     for i in serial_idx:
-        results[i] = _run_serial(jobs_list[i])
+        done(i, _run_serial(jobs_list[i]))
 
     return results  # type: ignore[return-value]

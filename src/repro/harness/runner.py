@@ -166,36 +166,20 @@ def _obs_key_extra(cache_key_extra: tuple, probe_rate: int,
     return cache_key_extra
 
 
-def simulate(
+def build_system(
     config: ChipConfig,
     workload_factory: Callable[[ChipConfig, int], object],
     num_nodes: int = 1,
-    units_attr: str = "transactions",
     check_coherence: bool = False,
     trace_capacity: int = 0,
     probe_rate: int = 0,
     sample_interval_ps: int = 0,
-) -> RunResult:
-    """Run one simulation point, uncached.
+) -> Tuple[PiranhaSystem, object]:
+    """Assemble a ready-to-run (system, workload) pair.
 
-    This is the single shared measurement implementation: the runner, the
-    sweep harness and the parallel workers all assemble their metrics
-    here, so the busy/L2/mem fractions and the miss breakdown cannot
-    drift between entry points.
-
-    ``check_coherence=True`` attaches the protocol sanitizer: the
-    continuous mid-run audit set plus the full quiesce audit via
-    :meth:`~repro.core.system.PiranhaSystem.verify` — exactly what the
-    CLI ``--check`` path runs — with the audit telemetry merged into
-    ``RunResult.extras`` (so it survives the ProcessPool round-trip).
-    ``trace_capacity`` additionally attaches a ring-buffered protocol
-    trace of that many events; violations then carry the per-line event
-    history.
-
-    ``probe_rate=N`` tags one of every N L1 misses with a latency probe,
-    and ``sample_interval_ps`` attaches the interval time-series sampler;
-    either one makes the structured metrics document appear in
-    ``extras["metrics"]`` (see :mod:`repro.harness.metrics`).
+    Shared by the cold path of :func:`simulate` and the CLI's
+    ``checkpoint save`` verb, so a warm snapshot is taken of exactly the
+    machine a measurement run would build.
     """
     workload = workload_factory(config, num_nodes)
     checker = None
@@ -215,11 +199,27 @@ def simulate(
         system.enable_probes(probe_rate)
     if sample_interval_ps:
         system.enable_sampler(sample_interval_ps)
-    wall0 = time.time()
-    system.run_to_completion()
-    wall = time.time() - wall0
+    return system, workload
+
+
+def assemble_result(
+    system: PiranhaSystem,
+    workload,
+    config: ChipConfig,
+    num_nodes: int,
+    units_attr: str,
+    probe_rate: int = 0,
+    sample_interval_ps: int = 0,
+    wall: float = 0.0,
+) -> RunResult:
+    """Measure a drained system into a :class:`RunResult`.
+
+    One assembly implementation for the cold, warm-restored and
+    checkpoint-restored paths: whatever route the machine took to the
+    drained state, the measurement payload is computed identically.
+    """
     sanitizer: Dict[str, float] = {}
-    if checker is not None:
+    if system.checker is not None:
         sanitizer = system.verify()
 
     units = getattr(workload.params, units_attr)
@@ -263,6 +263,94 @@ def simulate(
         # may raise, and may add deterministic extras
         post_run(system, result)
     return result
+
+
+def simulate(
+    config: ChipConfig,
+    workload_factory: Callable[[ChipConfig, int], object],
+    num_nodes: int = 1,
+    units_attr: str = "transactions",
+    check_coherence: bool = False,
+    trace_capacity: int = 0,
+    probe_rate: int = 0,
+    sample_interval_ps: int = 0,
+    warmup: bool = False,
+) -> RunResult:
+    """Run one simulation point, uncached.
+
+    This is the single shared measurement implementation: the runner, the
+    sweep harness and the parallel workers all assemble their metrics
+    here, so the busy/L2/mem fractions and the miss breakdown cannot
+    drift between entry points.
+
+    ``check_coherence=True`` attaches the protocol sanitizer: the
+    continuous mid-run audit set plus the full quiesce audit via
+    :meth:`~repro.core.system.PiranhaSystem.verify` — exactly what the
+    CLI ``--check`` path runs — with the audit telemetry merged into
+    ``RunResult.extras`` (so it survives the ProcessPool round-trip).
+    ``trace_capacity`` additionally attaches a ring-buffered protocol
+    trace of that many events; violations then carry the per-line event
+    history.
+
+    ``probe_rate=N`` tags one of every N L1 misses with a latency probe,
+    and ``sample_interval_ps`` attaches the interval time-series sampler;
+    either one makes the structured metrics document appear in
+    ``extras["metrics"]`` (see :mod:`repro.harness.metrics`).
+
+    ``warmup=True`` routes through the warm-checkpoint store
+    (:mod:`repro.checkpoint.store`): on a hit the machine is restored at
+    its warm-up boundary and only the measurement phase is simulated; on
+    a miss the cold run additionally snapshots itself at the boundary so
+    every later run of this (config, workload) point — other sweep
+    points, ``--resume``, parallel workers — skips the warm-up.  The
+    measurement payload is byte-identical either way (tested), so the
+    flag is deliberately *not* part of any result-cache key.
+    """
+    wall0 = time.time()
+    if warmup:
+        from ..checkpoint import (WARM_STORE, WarmCapture, build_manifest,
+                                  restore_system, warm_key)
+        from .cache import library_fingerprint
+
+        key = warm_key(config, workload_factory, num_nodes, units_attr,
+                       check_coherence, trace_capacity, probe_rate,
+                       sample_interval_ps)
+        hit = WARM_STORE.get(key)
+        if hit is not None:
+            _manifest, payload = hit
+            system = restore_system(payload)
+            workload = system.workload
+            system.run_to_completion()  # start() is a no-op: pure resume
+        else:
+            system, workload = build_system(
+                config, workload_factory, num_nodes, check_coherence,
+                trace_capacity, probe_rate, sample_interval_ps)
+
+            def persist(payload: bytes, sim_now: int) -> None:
+                # at the boundary, before the measurement phase: a run
+                # killed mid-measurement still leaves warm state behind
+                WARM_STORE.put(key, build_manifest(
+                    payload,
+                    fingerprint=library_fingerprint(),
+                    config_digest=config_digest(config),
+                    workload=workload_token(workload_factory),
+                    nodes=system.num_nodes,
+                    sim_now=sim_now,
+                ), payload)
+
+            if key is not None:
+                # opaque workloads (no stable token) cannot be stored;
+                # skip the snapshot cost entirely
+                WarmCapture(system, sink=persist)
+            system.run_to_completion()
+    else:
+        system, workload = build_system(
+            config, workload_factory, num_nodes, check_coherence,
+            trace_capacity, probe_rate, sample_interval_ps)
+        system.run_to_completion()
+    wall = time.time() - wall0
+    return assemble_result(system, workload, config, num_nodes, units_attr,
+                           probe_rate, sample_interval_ps, wall)
 
 
 def _attach_telemetry(result: RunResult) -> RunResult:
@@ -338,8 +426,14 @@ def run_configured(
     trace_capacity: int = 0,
     probe_rate: int = 0,
     sample_interval_ps: int = 0,
+    warmup: bool = False,
 ) -> RunResult:
-    """Simulate one explicit configuration, with two-level caching."""
+    """Simulate one explicit configuration, with two-level caching.
+
+    ``warmup`` is execution strategy, not measurement identity: it feeds
+    :func:`simulate` but stays out of the cache keys, because the warm
+    and cold paths produce byte-identical results.
+    """
     cached = cached_result(config, workload_factory, num_nodes, units_attr,
                            check_coherence, cache_key_extra, trace_capacity,
                            probe_rate, sample_interval_ps)
@@ -347,7 +441,7 @@ def run_configured(
         return cached
     result = simulate(config, workload_factory, num_nodes, units_attr,
                       check_coherence, trace_capacity, probe_rate,
-                      sample_interval_ps)
+                      sample_interval_ps, warmup=warmup)
     store_result(result, config, workload_factory, num_nodes, units_attr,
                  check_coherence, cache_key_extra, trace_capacity,
                  probe_rate, sample_interval_ps)
@@ -364,6 +458,7 @@ def run_workload(
     trace_capacity: int = 0,
     probe_rate: int = 0,
     sample_interval_ps: int = 0,
+    warmup: bool = False,
 ) -> RunResult:
     """Simulate one preset configuration under one workload.
 
@@ -375,4 +470,5 @@ def run_workload(
         units_attr=units_attr, check_coherence=check_coherence,
         cache_key_extra=cache_key_extra, trace_capacity=trace_capacity,
         probe_rate=probe_rate, sample_interval_ps=sample_interval_ps,
+        warmup=warmup,
     )

@@ -145,16 +145,16 @@ class Simulator:
         event queue alive forever under run-to-drain.  Returns the handle
         for the first tick; cancelling it stops the timer only until the
         next reschedule, so observers should stop via their return value.
+
+        The ticker is a :class:`_PeriodicTick` instance rather than a
+        closure so a pending tick can ride a checkpoint: a restored event
+        queue re-registers the periodic chain by simply firing the queued
+        tick — no re-arming, no duplicate tickers.
         """
         if interval_ps <= 0:
             raise ValueError(
                 f"repeat interval must be positive, got {interval_ps}")
-
-        def _tick() -> None:
-            if fn():
-                self.schedule(interval_ps, _tick)
-
-        return self.schedule(interval_ps, _tick)
+        return self.schedule(interval_ps, _PeriodicTick(self, interval_ps, fn))
 
     def schedule_at(self, time_ps: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` at absolute time ``time_ps``."""
@@ -257,6 +257,33 @@ class Simulator:
                 fired += 1
         return fired
 
+    def halt(self) -> None:
+        """Discard every pending event (the queue drains immediately).
+
+        Used by checkpoint capture when the caller only needs the system
+        state up to the snapshot point and not the rest of the run; the
+        simulator itself stays usable (new events can be scheduled)."""
+        self._queue = []
+        self._dead = 0
+
+    # -- checkpoint/restore ----------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Complete serialisable state: clock, event queue (handles carry
+        their callbacks), sequence counter and cancellation accounting.
+        The queue rides the snapshot verbatim, so FIFO-within-timestamp
+        ordering is preserved exactly across a restore."""
+        return dict(self.__dict__)
+
+    def load_state(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    def __getstate__(self) -> dict:
+        return self.state_dict()
+
+    def __setstate__(self, state: dict) -> None:
+        self.load_state(state)
+
     @property
     def pending(self) -> int:
         """Number of live (non-cancelled) events currently queued."""
@@ -274,6 +301,29 @@ class Simulator:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Simulator(now={self.now} ps, pending={self.pending})"
+
+
+class _PeriodicTick:
+    """Picklable self-rescheduling callback behind
+    :meth:`Simulator.schedule_every`.
+
+    A plain class (not a closure) so a pending tick serialises with the
+    event queue: after a restore the queued tick keeps the periodic chain
+    alive on its original phase, with no re-registration step and no way
+    to end up with duplicate tickers or a dropped interval.
+    """
+
+    __slots__ = ("sim", "interval_ps", "fn")
+
+    def __init__(self, sim: Simulator, interval_ps: int,
+                 fn: Callable[[], Any]) -> None:
+        self.sim = sim
+        self.interval_ps = interval_ps
+        self.fn = fn
+
+    def __call__(self) -> None:
+        if self.fn():
+            self.sim.schedule(self.interval_ps, self)
 
 
 class Component:
@@ -302,6 +352,27 @@ class Component:
     def now(self) -> int:
         """Current simulated time in picoseconds."""
         return self.sim.now
+
+    # -- checkpoint/restore ----------------------------------------------
+    #
+    # Every simulated module keeps its complete mutable state in instance
+    # attributes (DESIGN.md "Determinism"), so the default component
+    # snapshot is simply the instance dictionary.  Subclasses with state
+    # outside __dict__ override the pair; the checkpoint layer routes
+    # pickling through these hooks so a component's notion of "its state"
+    # stays in one place.
+
+    def state_dict(self) -> dict:
+        return dict(self.__dict__)
+
+    def load_state(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    def __getstate__(self) -> dict:
+        return self.state_dict()
+
+    def __setstate__(self, state: dict) -> None:
+        self.load_state(state)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self.name!r})"

@@ -135,6 +135,27 @@ class IntervalSampler:
         self._prev_time = now_ps
         self._reset_pending = False
 
+    # -- checkpoint/restore ------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Interval history, counter baseline and lifecycle flags, plus
+        the collector callables (bound methods / closures over the system
+        graph — the checkpoint pickler serialises them so a restored
+        sampler keeps collecting from the restored components).  The
+        pending ``schedule_every`` tick is *not* here: it rides the
+        simulator's pickled event queue, so a restored sampler resumes
+        sampling without being re-armed (and without double-arming)."""
+        return dict(self.__dict__)
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+
+    def __getstate__(self) -> Dict[str, object]:
+        return self.state_dict()
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.load_state(state)
+
     # -- export ----------------------------------------------------------
 
     def as_dict(self) -> Dict[str, object]:

@@ -37,19 +37,105 @@ WorkItem = Tuple[int, Optional[AccessKind], int, bool]
 
 
 class WorkloadThread:
-    """Iterator wrapper carrying per-workload attributes (e.g. ILP)."""
+    """Iterator wrapper carrying per-workload attributes (e.g. ILP).
+
+    Threads are the one checkpoint-hostile piece of live simulation state:
+    the work-item stream is a running generator, which CPython cannot
+    pickle.  Instead of serialising the frame, a thread counts the items
+    it has emitted and remembers where it came from (its workload and
+    (node, cpu) slot, bound by
+    :meth:`~repro.core.system.PiranhaSystem.attach_workload`).  A restored
+    thread rebuilds lazily: on the first ``__next__`` after a restore it
+    asks the workload for a fresh thread for the same slot — workload
+    generators draw all randomness from named
+    :func:`~repro.sim.rng.substream`\\ s, so the fresh stream is identical
+    — and fast-forwards it by the emitted count.  Rebuilding on first use
+    (rather than during unpickling) keeps restore independent of pickle's
+    object-graph ordering.
+    """
 
     def __init__(self, gen: Iterator[WorkItem], ilp: float = 1.0,
                  name: str = "") -> None:
-        self._gen = gen
+        self._gen: Optional[Iterator[WorkItem]] = gen
         self.ilp = ilp
         self.name = name
+        self.emitted = 0
+        self._exhausted = False
+        #: (workload, node, cpu) rebuild recipe; None until the thread is
+        #: attached through PiranhaSystem.attach_workload
+        self._source = None
+
+    def bind_source(self, workload, node: int, cpu: int) -> None:
+        """Record the rebuild recipe for checkpoint/restore."""
+        self._source = (workload, node, cpu)
 
     def __iter__(self) -> "WorkloadThread":
         return self
 
     def __next__(self) -> WorkItem:
-        return next(self._gen)
+        gen = self._gen
+        if gen is None:
+            gen = self._rebuild()
+        try:
+            item = next(gen)
+        except StopIteration:
+            self._exhausted = True
+            raise
+        self.emitted += 1
+        return item
+
+    def _rebuild(self) -> Iterator[WorkItem]:
+        """Regenerate and fast-forward the stream after a restore."""
+        if self._exhausted:
+            raise StopIteration
+        if self._source is None:
+            raise RuntimeError(
+                f"workload thread {self.name!r} was restored without a "
+                f"rebuild source; attach threads via "
+                f"PiranhaSystem.attach_workload")
+        workload, node, cpu = self._source
+        fresh = workload.thread_for(node, cpu)
+        if fresh is None:
+            raise RuntimeError(
+                f"workload thread {self.name!r}: thread_for({node}, {cpu}) "
+                f"returned None on rebuild")
+        gen = fresh._gen
+        for _ in range(self.emitted):
+            next(gen)
+        self._gen = gen
+        return gen
+
+    # -- checkpoint/restore ----------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serialisable state: everything except the live generator."""
+        return {
+            "ilp": self.ilp,
+            "name": self.name,
+            "emitted": self.emitted,
+            "exhausted": self._exhausted,
+            "source": self._source,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.ilp = state["ilp"]
+        self.name = state["name"]
+        self.emitted = state["emitted"]
+        self._exhausted = state["exhausted"]
+        self._source = state["source"]
+        self._gen = None  # rebuilt lazily on the next __next__
+
+    def __getstate__(self) -> dict:
+        if (self._source is None and not self._exhausted
+                and self._gen is not None):
+            raise TypeError(
+                f"workload thread {self.name!r} is not checkpointable: it "
+                f"was attached without a rebuild source (use "
+                f"PiranhaSystem.attach_workload)")
+        return self.state_dict()
+
+    def __setstate__(self, state: dict) -> None:
+        self.load_state(state)
 
 
 class Workload:

@@ -1,0 +1,440 @@
+"""Checkpoint/restore subsystem tests.
+
+Covers the PR's acceptance criteria:
+
+* restore fidelity — P1 and P8 on OLTP and DSS produce byte-identical
+  ``repro-metrics/1`` documents whether the measurement phase ran
+  uninterrupted, cold-with-capture, or restored from the warm store, on
+  both the serial and the ``jobs=N`` process-pool paths,
+* the ``.ckpt`` file format round-trips, detects corruption, and
+  refuses snapshots from a different schema / interpreter / library,
+* resumable sweeps maintain their progress manifest and a re-run
+  produces identical records,
+* periodic checkpointing re-registers ``schedule_every`` tickers
+  cleanly after restore (no duplicate tickers, no dropped intervals),
+* fuzz violation bisection restores the last pre-violation snapshot and
+  the violation recurs in the replayed window with the same signature.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.checkpoint import (
+    SCHEMA,
+    CheckpointError,
+    PeriodicCheckpointer,
+    WARM_STORE,
+    WarmCapture,
+    build_manifest,
+    checkpoint_info,
+    load_checkpoint,
+    restore_system,
+    save_checkpoint,
+    snapshot_bytes,
+)
+from repro.checkpoint.format import (
+    decode,
+    encode,
+    python_version_tag,
+    validate_manifest,
+)
+from repro.core import CoherenceChecker, PiranhaSystem, preset
+from repro.harness import DssFactory, Job, OltpFactory, clear_cache, run_jobs
+from repro.harness.runner import DISK_CACHE, build_system, simulate
+from repro.harness.sweep import load_manifest, record_from_result, sweep_field
+from repro.sim.engine import _PeriodicTick
+from repro.workloads import DssParams, OltpParams
+
+TINY_OLTP = OltpParams(transactions=6, warmup_transactions=8)
+TINY_DSS = DssParams(rows=48)
+
+
+@pytest.fixture(autouse=True)
+def isolated_caches(tmp_path, monkeypatch):
+    """Every test gets an empty memo and a private cache directory."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def metrics_bytes(result) -> str:
+    """The canonical serialisation of a run's metrics document."""
+    return json.dumps(result.extras["metrics"], sort_keys=True)
+
+
+def run_point(config_name, factory, *, warmup, check=False,
+              units_attr="transactions"):
+    return simulate(preset(config_name), factory, num_nodes=1,
+                    units_attr=units_attr, check_coherence=check,
+                    probe_rate=16, sample_interval_ps=int(10e6),
+                    warmup=warmup)
+
+
+# ---------------------------------------------------------------------------
+# restore fidelity (serial path)
+
+
+class TestRestoreFidelity:
+    @pytest.mark.parametrize("config_name", ["P1", "P8"])
+    @pytest.mark.parametrize("factory,units", [
+        (OltpFactory(TINY_OLTP), "transactions"),
+        (DssFactory(TINY_DSS), "rows"),
+    ], ids=["oltp", "dss"])
+    def test_metrics_doc_byte_identical(self, config_name, factory, units):
+        """Uninterrupted, cold-with-capture and restored measurement runs
+        must produce byte-identical metrics documents."""
+        baseline = run_point(config_name, factory, warmup=False,
+                             units_attr=units)
+        warm_cold = run_point(config_name, factory, warmup=True,
+                              units_attr=units)   # populates the store
+        warm_restored = run_point(config_name, factory, warmup=True,
+                                  units_attr=units)  # restores from it
+        assert metrics_bytes(warm_cold) == metrics_bytes(baseline)
+        assert metrics_bytes(warm_restored) == metrics_bytes(baseline)
+
+    def test_restore_fidelity_with_sanitizer(self):
+        """The full sanitizer state (directory mirrors, TSRF audit
+        bookkeeping) survives the snapshot round-trip."""
+        factory = OltpFactory(TINY_OLTP)
+        baseline = run_point("P8", factory, warmup=False, check=True)
+        run_point("P8", factory, warmup=True, check=True)
+        restored = run_point("P8", factory, warmup=True, check=True)
+        assert metrics_bytes(restored) == metrics_bytes(baseline)
+        assert restored.extras.get("audit_continuous_runs") == \
+            baseline.extras.get("audit_continuous_runs")
+
+    def test_warm_snapshot_persisted_at_boundary(self):
+        """The warm snapshot must be on disk before measurement finishes
+        (a run killed mid-measurement still leaves it for --resume)."""
+        factory = OltpFactory(TINY_OLTP)
+        assert WARM_STORE.info()["entries"] == 0
+        run_point("P1", factory, warmup=True)
+        assert WARM_STORE.info()["entries"] == 1
+
+    def test_result_cache_clear_keeps_warm_state(self):
+        factory = OltpFactory(TINY_OLTP)
+        run_point("P1", factory, warmup=True)
+        DISK_CACHE.clear()
+        assert WARM_STORE.info()["entries"] == 1
+
+
+# ---------------------------------------------------------------------------
+# restore fidelity (process-pool path)
+
+
+class TestParallelWarmFidelity:
+    def _jobs(self, warmup):
+        return [
+            Job(config=preset(name), factory=OltpFactory(TINY_OLTP),
+                units_attr="transactions", warmup=warmup)
+            for name in ("P1", "P8")
+        ]
+
+    def test_jobs_warm_records_identical(self):
+        """jobs=2 with warmup=True — cold-capture pass and restored pass
+        both match the uninterrupted serial records."""
+        base = [record_from_result(r)
+                for r in run_jobs(self._jobs(False), jobs=1)]
+        clear_cache()
+        DISK_CACHE.clear()  # force simulation; warm snapshots survive
+        warm_cold = [record_from_result(r)
+                     for r in run_jobs(self._jobs(True), jobs=2)]
+        clear_cache()
+        DISK_CACHE.clear()
+        warm_restored = [record_from_result(r)
+                         for r in run_jobs(self._jobs(True), jobs=2)]
+        assert warm_cold == base
+        assert warm_restored == base
+
+
+# ---------------------------------------------------------------------------
+# file format
+
+
+class TestCheckpointFormat:
+    def _manifest(self, payload):
+        return build_manifest(payload, fingerprint="fp", config_digest="cd",
+                              workload="oltp", nodes=1, sim_now=123)
+
+    def test_round_trip(self):
+        payload = b"x" * 4096
+        manifest = self._manifest(payload)
+        got_manifest, got_payload = decode(encode(manifest, payload))
+        assert got_manifest == manifest
+        assert got_payload == payload
+
+    def test_deterministic_bytes(self):
+        payload = b"y" * 128
+        manifest = self._manifest(payload)
+        assert encode(manifest, payload) == encode(manifest, payload)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(CheckpointError, match="magic"):
+            decode(b"NOTACKPT" + b"\x00" * 64)
+
+    def test_payload_corruption_detected(self):
+        payload = b"z" * 1024
+        blob = bytearray(encode(self._manifest(payload), payload))
+        blob[-1] ^= 0xFF
+        with pytest.raises(CheckpointError):
+            decode(bytes(blob))
+
+    def test_schema_mismatch_rejected(self):
+        manifest = self._manifest(b"")
+        manifest["schema"] = SCHEMA + 1
+        with pytest.raises(CheckpointError, match="schema"):
+            validate_manifest(manifest)
+
+    def test_python_mismatch_rejected(self):
+        manifest = self._manifest(b"")
+        manifest["python"] = "2.7"
+        with pytest.raises(CheckpointError, match="Python"):
+            validate_manifest(manifest)
+
+    def test_fingerprint_enforced_unless_forced(self):
+        manifest = self._manifest(b"")
+        with pytest.raises(CheckpointError, match="fingerprint"):
+            validate_manifest(manifest, fingerprint="other")
+        validate_manifest(manifest, fingerprint="other", strict=False)
+        assert manifest["python"] == python_version_tag()
+
+
+# ---------------------------------------------------------------------------
+# checkpoint files end to end
+
+
+class TestCheckpointFiles:
+    def test_save_restore_resumes_measurement(self, tmp_path):
+        from repro.harness.metrics import metrics_doc
+
+        factory = OltpFactory(TINY_OLTP)
+        base_system, _ = build_system(preset("P1"), factory, probe_rate=16,
+                                      sample_interval_ps=int(10e6))
+        base_system.run_to_completion()
+        baseline = json.dumps(
+            metrics_doc(base_system, None, probe_rate=16,
+                        sample_interval_ps=int(10e6)), sort_keys=True)
+
+        system, _workload = build_system(
+            preset("P1"), factory, probe_rate=16,
+            sample_interval_ps=int(10e6))
+        capture = WarmCapture(system, halt=True)
+        system.start()
+        system.sim.run()
+        assert capture.captured
+
+        path = str(tmp_path / "warm.ckpt")
+        manifest = save_checkpoint(path, system, payload=capture.payload,
+                                   sim_now=capture.sim_now, workload="oltp",
+                                   extra={"probe_rate": 16})
+        assert checkpoint_info(path) == manifest
+        assert manifest["sim_now"] == capture.sim_now
+
+        got_manifest, restored = load_checkpoint(path)
+        assert got_manifest == manifest
+        restored.run_to_completion()
+        doc = metrics_doc(restored, None, probe_rate=16,
+                          sample_interval_ps=int(10e6))
+        assert json.dumps(doc, sort_keys=True) == baseline
+
+    def test_config_digest_mismatch_refused(self, tmp_path):
+        factory = OltpFactory(TINY_OLTP)
+        system, _ = build_system(preset("P1"), factory)
+        capture = WarmCapture(system, halt=True)
+        system.start()
+        system.sim.run()
+        path = str(tmp_path / "warm.ckpt")
+        save_checkpoint(path, system, payload=capture.payload,
+                        sim_now=capture.sim_now, workload="oltp")
+        with pytest.raises(CheckpointError, match="config digest"):
+            load_checkpoint(path, expect_config=preset("P8"))
+
+
+# ---------------------------------------------------------------------------
+# resumable sweeps
+
+
+class TestResumableSweep:
+    VALUES = [256 << 10, 512 << 10]
+
+    def _sweep(self, **kw):
+        return sweep_field("P1", OltpFactory(TINY_OLTP), "l2.size_bytes",
+                           self.VALUES, units_attr="transactions", **kw)
+
+    def test_manifest_tracks_progress_and_rerun_identical(self):
+        first = self._sweep(resume=True)
+        from repro.harness.sweep import sweep_key
+
+        key = sweep_key(preset("P1"), OltpFactory(TINY_OLTP),
+                        "l2.size_bytes", self.VALUES, 1, "transactions",
+                        False)
+        manifest = load_manifest(key)
+        assert manifest is not None
+        assert manifest["done"] == list(range(len(self.VALUES)))
+        again = self._sweep(resume=True)
+        assert again == first
+
+    def test_resume_after_partial_completion(self):
+        """A sweep interrupted after point 0 finishes the rest on
+        resume and the records match an uninterrupted sweep."""
+        baseline = self._sweep()
+        # interrupted run: only point 0 completed (simulated by running
+        # a one-value sweep — same derived config, same cache keys)
+        clear_cache()
+        DISK_CACHE.clear()
+        self._sweep_prefix()
+        resumed = self._sweep(resume=True)
+        assert resumed == baseline
+
+    def _sweep_prefix(self):
+        sweep_field("P1", OltpFactory(TINY_OLTP), "l2.size_bytes",
+                    self.VALUES[:1], units_attr="transactions", warmup=True)
+
+    def test_resume_matches_plain_sweep(self):
+        plain = self._sweep()
+        clear_cache()
+        DISK_CACHE.clear()
+        resumed = self._sweep(resume=True)
+        assert resumed == plain
+
+
+# ---------------------------------------------------------------------------
+# periodic checkpointing and schedule_every restore (satellite: no
+# duplicate tickers, no dropped intervals)
+
+
+def _pending_tickers(system):
+    return [h for _, _, h in system.sim._queue
+            if isinstance(getattr(h, "fn", None), _PeriodicTick)
+            or isinstance(h, _PeriodicTick)]
+
+
+class TestPeriodicRestore:
+    def _warm_system(self):
+        checker = CoherenceChecker()
+        system = PiranhaSystem(preset("P1"), num_nodes=1, checker=checker)
+        factory = OltpFactory(TINY_OLTP)
+        workload = factory(system.config, 1)
+        system.attach_workload(workload)
+        system.enable_sampler(int(5e6))
+        return system
+
+    def test_restored_ticker_not_duplicated(self):
+        system = self._warm_system()
+        capture = WarmCapture(system, halt=True)
+        system.start()
+        system.sim.run()
+        restored = restore_system(capture.payload)
+        before = len(_pending_tickers(restored))
+        # run_to_completion on a restored system must not re-arm the
+        # sampler ticker (start() is a no-op) — the pending tick came
+        # back with the pickled queue
+        restored.run_to_completion()
+        assert before == 1
+        assert restored.sampler._finalized
+
+    def test_sampler_intervals_match_uninterrupted(self):
+        uninterrupted = self._warm_system()
+        uninterrupted.run_to_completion()
+        expected = len(uninterrupted.sampler.intervals)
+
+        system = self._warm_system()
+        capture = WarmCapture(system, halt=True)
+        system.start()
+        system.sim.run()
+        restored = restore_system(capture.payload)
+        restored.run_to_completion()
+        assert len(restored.sampler.intervals) == expected
+
+    def test_periodic_checkpointer_keeps_last_k(self):
+        system = self._warm_system()
+        ckpt = PeriodicCheckpointer(system, int(2e6), keep=2)
+        ckpt.start()
+        system.run_to_completion()
+        assert ckpt.captures > 2
+        assert len(ckpt.snapshots) == 2
+        now_ps, payload = ckpt.latest()
+        assert now_ps <= system.sim.now
+        replay = restore_system(payload)
+        replay.run_to_completion()
+        assert replay.sim.now == system.sim.now
+
+    def test_snapshots_do_not_snowball(self):
+        """Each rolling snapshot must not contain its predecessors."""
+        system = self._warm_system()
+        ckpt = PeriodicCheckpointer(system, int(2e6), keep=4)
+        ckpt.start()
+        system.run_to_completion()
+        sizes = [len(p) for _, p in ckpt.snapshots]
+        assert max(sizes) < 2 * min(sizes)
+
+
+# ---------------------------------------------------------------------------
+# fuzz violation bisection
+
+
+class TestFuzzBisection:
+    def test_violation_recurs_from_last_snapshot(self):
+        from repro.fuzz import generate, params_for, run_fuzz_program
+
+        prog = dataclasses.replace(
+            generate(params_for(0, total_ops=240, nodes=2)),
+            mutation="stale_share", mutation_period=3)
+        verdict = run_fuzz_program(prog, check=True,
+                                   checkpoint_every_ps=int(0.05e6))
+        assert not verdict.ok
+        assert verdict.bisect, "flight recorder captured no snapshot"
+        assert verdict.bisect["recurred"]
+        assert verdict.bisect["replay_signature"] == verdict.signature
+        assert verdict.bisect["trace_window"]
+        assert verdict.bisect["restored_from_ps"] > 0
+
+    def test_no_checkpointing_means_no_bisect(self):
+        from repro.fuzz import generate, params_for, run_fuzz_program
+
+        prog = dataclasses.replace(
+            generate(params_for(0, total_ops=240, nodes=2)),
+            mutation="stale_share", mutation_period=3)
+        verdict = run_fuzz_program(prog, check=True)
+        assert not verdict.ok
+        assert verdict.bisect == {}
+
+
+# ---------------------------------------------------------------------------
+# snapshot identity basics
+
+
+class TestSnapshotBasics:
+    def test_txn_counter_travels_with_snapshot(self):
+        from repro.core import messages
+
+        system, _ = build_system(preset("P1"), OltpFactory(TINY_OLTP))
+        capture = WarmCapture(system, halt=True)
+        system.start()
+        system.sim.run()
+        at_boundary = next(messages._txn_ids)
+        restored = restore_system(capture.payload)
+        assert next(messages._txn_ids) == at_boundary
+        restored.run_to_completion()
+
+    def test_snapshot_requires_positive_period(self):
+        system, _ = build_system(preset("P1"), OltpFactory(TINY_OLTP))
+        with pytest.raises(ValueError):
+            PeriodicCheckpointer(system, 0)
+        with pytest.raises(ValueError):
+            PeriodicCheckpointer(system, 100, keep=0)
+
+    def test_snapshot_bytes_stable_at_boundary(self):
+        """Two snapshots of the same state are identical bytes (the
+        checkpoint file is cacheable/diffable)."""
+        system, _ = build_system(preset("P1"), OltpFactory(TINY_OLTP))
+        capture = WarmCapture(system, halt=True)
+        system.start()
+        system.sim.run()
+        assert snapshot_bytes(restore_system(capture.payload)) == \
+            snapshot_bytes(restore_system(capture.payload))

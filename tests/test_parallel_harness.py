@@ -270,3 +270,62 @@ class TestReplaceFieldErrors:
         assert config.l2.size_bytes == 2 << 20
         config = replace_field(preset("P8"), "cpus", 4)
         assert config.cpus == 4
+
+
+class TestLibraryFingerprint:
+    """The source fingerprint must cover every subpackage — a change to
+    ``repro/fuzz/`` or ``repro/checkpoint/`` has to invalidate cached
+    results and warm checkpoints exactly like a change to the core."""
+
+    def _tree(self, tmp_path, extra=None):
+        root = tmp_path / "pkg"
+        (root / "fuzz").mkdir(parents=True)
+        (root / "checkpoint").mkdir()
+        (root / "__init__.py").write_text("x = 1\n")
+        (root / "fuzz" / "runner.py").write_text("y = 2\n")
+        (root / "checkpoint" / "store.py").write_text("z = 3\n")
+        if extra:
+            path, text = extra
+            (root / path).write_text(text)
+        return str(root)
+
+    def test_subpackage_edit_changes_fingerprint(self, tmp_path):
+        from repro.harness.cache import library_fingerprint
+
+        base = library_fingerprint(root=self._tree(tmp_path))
+        for sub in ("fuzz/runner.py", "checkpoint/store.py",
+                    "__init__.py"):
+            edited = library_fingerprint(
+                root=self._tree(tmp_path / sub.replace("/", "_"),
+                                extra=(sub, "changed = True\n")))
+            assert edited != base, f"edit to {sub} not fingerprinted"
+
+    def test_new_subpackage_file_changes_fingerprint(self, tmp_path):
+        from repro.harness.cache import library_fingerprint
+
+        base = library_fingerprint(root=self._tree(tmp_path))
+        grown = library_fingerprint(
+            root=self._tree(tmp_path / "grown",
+                            extra=("checkpoint/new_module.py", "n = 4\n")))
+        assert grown != base
+
+    def test_non_python_files_ignored(self, tmp_path):
+        from repro.harness.cache import library_fingerprint
+
+        base = library_fingerprint(root=self._tree(tmp_path))
+        same = library_fingerprint(
+            root=self._tree(tmp_path / "same",
+                            extra=("checkpoint/readme.txt", "doc\n")))
+        assert same == base
+
+    def test_fingerprint_stable(self, tmp_path):
+        from repro.harness.cache import library_fingerprint
+
+        tree = self._tree(tmp_path)
+        assert library_fingerprint(root=tree) == \
+            library_fingerprint(root=tree)
+
+    def test_live_fingerprint_memoised(self):
+        from repro.harness.cache import library_fingerprint
+
+        assert library_fingerprint() == library_fingerprint()
