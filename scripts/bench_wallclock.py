@@ -31,6 +31,11 @@ baseline, cold-with-snapshot-capture, and restored-from-warm-checkpoint
 — and appends the amortised warm-up speedup to
 ``BENCH_checkpoint.json``.
 
+``--fastforward`` times one P8 OLTP point detailed vs sampled (cold and
+warm-start), asserts the two sampled payloads are bit-identical, and
+appends effective ev/s, speedup and measured per-class error to
+``BENCH_fastforward.json``.
+
 Determinism makes the measurements comparable across runs: the simulated
 results are bit-for-bit identical in every mode, only wall-clock varies.
 """
@@ -282,6 +287,145 @@ def bench_checkpoint(points: int = 8, jobs: int = 1) -> dict:
     }
 
 
+def bench_fastforward(scale: float) -> dict:
+    """Sampled-simulation speedup and measured error vs full detailed.
+
+    Three passes over the identical P8 OLTP point:
+
+    * **detailed**: the full event-driven run — the accuracy reference
+      and the event count the sampled runs are credited against;
+    * **sampled cold**: ``mode="sampled", warmup=True`` with an empty
+      warm store — functional warm-up + measurement windows + boundary
+      snapshot capture;
+    * **sampled warm-start**: the same call again — restores the warm
+      boundary snapshot and pays only windows + fast-forward, which is
+      where the headline sampled speedup lives.
+
+    The cold and warm-start sampled payloads must be bit-identical
+    (restoring the snapshot is not allowed to change anything
+    measurable); their error is reported against the detailed run per
+    metric class.  ``effective_events_per_s`` divides the *detailed*
+    event count by the sampled wall — the rate at which sampled mode
+    retires work the detailed model would have had to simulate.
+    """
+    from repro.core import preset
+    from repro.harness import OltpFactory
+    from repro.harness.runner import (SAMPLED_PERIOD, SAMPLED_WINDOW,
+                                      assemble_result, build_system, simulate)
+    from repro.workloads import OltpParams
+
+    op = OltpParams()
+    op = replace(op, transactions=max(20, int(op.transactions * scale)),
+                 warmup_transactions=max(40, int(op.warmup_transactions * scale)))
+    factory = OltpFactory(op)
+    config = preset("P8")
+
+    system, workload = build_system(config, factory, 1)
+    t0 = time.perf_counter()
+    system.run_to_completion()
+    detailed_s = time.perf_counter() - t0
+    detailed_events = system.sim.events_fired
+    detailed = assemble_result(system, workload, config, 1, "transactions",
+                               0, 0, detailed_s)
+
+    classes = ("busy_frac", "l2_frac", "mem_frac", "miss_hit_frac",
+               "miss_fwd_frac", "miss_mem_frac")
+
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-ff-")
+    old_cache_dir = os.environ.get("REPRO_CACHE_DIR")
+    old_no_cache = os.environ.pop("REPRO_NO_CACHE", None)
+    try:
+        os.environ["REPRO_CACHE_DIR"] = cache_dir
+        t0 = time.perf_counter()
+        cold = simulate(config, factory, mode="sampled", warmup=True)
+        cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = simulate(config, factory, mode="sampled", warmup=True)
+        warm_s = time.perf_counter() - t0
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+        if old_cache_dir is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = old_cache_dir
+        if old_no_cache is not None:
+            os.environ["REPRO_NO_CACHE"] = old_no_cache
+
+    assert warm.extras["sampling"]["skip_warm"], \
+        "warm-start sampled run did not restore from the warm store"
+    assert cold.payload_tuple() == warm.payload_tuple(), \
+        "warm-start sampled payload diverged from the cold run"
+
+    err = {c: round(abs(getattr(cold, c) - getattr(detailed, c)), 4)
+           for c in classes}
+    err["time_per_unit_rel"] = round(
+        abs(cold.time_per_unit_ns / detailed.time_per_unit_ns - 1), 4)
+    sampling = cold.extras["sampling"]
+    return {
+        "scale": scale,
+        "window": SAMPLED_WINDOW,
+        "period": SAMPLED_PERIOD,
+        "detailed": {
+            "wall_s": round(detailed_s, 4),
+            "events": detailed_events,
+            "events_per_s": round(detailed_events / detailed_s),
+        },
+        "sampled_cold": {
+            "wall_s": round(cold_s, 4),
+            "speedup": round(detailed_s / cold_s, 2),
+            "effective_events_per_s": round(detailed_events / cold_s),
+            "windows": sampling["windows"],
+            "measured_items": sampling["measured_items"],
+            "ff_items": sampling["ff_items"],
+        },
+        "sampled_warm_start": {
+            "wall_s": round(warm_s, 4),
+            "speedup": round(detailed_s / warm_s, 2),
+            "effective_events_per_s": round(detailed_events / warm_s),
+        },
+        "error": err,
+        "max_class_error": max(err[c] for c in classes),
+        "payloads_identical": True,
+    }
+
+
+def run_fastforward(args) -> int:
+    """``--fastforward``: record sampled-mode speedup/accuracy numbers."""
+    print(f"sampled simulation (P8 OLTP, scale={args.scale})...")
+    ff = bench_fastforward(args.scale)
+    print(f"  detailed {ff['detailed']['wall_s']}s "
+          f"({ff['detailed']['events_per_s']:,} ev/s), "
+          f"sampled cold {ff['sampled_cold']['wall_s']}s "
+          f"({ff['sampled_cold']['speedup']}x), "
+          f"warm-start {ff['sampled_warm_start']['wall_s']}s "
+          f"({ff['sampled_warm_start']['speedup']}x, "
+          f"{ff['sampled_warm_start']['effective_events_per_s']:,} "
+          f"effective ev/s)")
+    print(f"  max class error {ff['max_class_error']:.4f}, "
+          f"time/unit rel error {ff['error']['time_per_unit_rel']:.4f}")
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "scale": args.scale,
+        "cores": os.cpu_count() or 1,
+        "python": sys.version.split()[0],
+        "fastforward": ff,
+    }
+    out = os.path.join(REPO_ROOT, "BENCH_fastforward.json")
+    history = {"records": []}
+    if os.path.exists(out):
+        try:
+            with open(out, "r", encoding="utf-8") as f:
+                history = json.load(f)
+        except (OSError, ValueError):
+            pass
+    history.setdefault("records", []).append(record)
+    with open(out, "w", encoding="utf-8") as f:
+        json.dump(history, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"appended record to {out}")
+    return 0
+
+
 def run_checkpoint(args) -> int:
     """``--checkpoint``: record the warm-restore amortisation numbers."""
     points = 3 if args.quick else 8
@@ -371,12 +515,18 @@ def main(argv=None) -> int:
                         help="only run the warm-checkpoint amortisation "
                              "comparison (appends to "
                              "BENCH_checkpoint.json)")
+    parser.add_argument("--fastforward", action="store_true",
+                        help="only run the sampled-simulation speedup/"
+                             "accuracy comparison (appends to "
+                             "BENCH_fastforward.json)")
     args = parser.parse_args(argv)
 
     if args.observability:
         return run_observability(args)
     if args.checkpoint:
         return run_checkpoint(args)
+    if args.fastforward:
+        return run_fastforward(args)
 
     os.environ["REPRO_SCALE"] = str(args.scale)
     cores = os.cpu_count() or 1

@@ -149,9 +149,51 @@ def _bisect_run_violation(checkpointer, args: argparse.Namespace) -> None:
         print("  " + line)
 
 
+def _run_sampled_cli(args: argparse.Namespace, config, system) -> int:
+    """``run --sampled``: SMARTS-style sampled simulation of the point."""
+    import time
+
+    from .fastforward import SampledRun
+    from .harness import UNITS_ATTR
+    from .harness.runner import SAMPLED_PERIOD, SAMPLED_WINDOW
+
+    window = args.window or SAMPLED_WINDOW
+    period = args.period or SAMPLED_PERIOD
+    print(f"sampled simulation of {args.workload} on {args.nodes} x "
+          f"{config.name}: window={window} period={period} "
+          f"warming={args.warming}")
+    t0 = time.time()
+    run = SampledRun(system, window=window, period=period,
+                     warming=args.warming)
+    run.run()
+    result = run.to_result(config, args.nodes,
+                           UNITS_ATTR.get(args.workload, "transactions"),
+                           wall=time.time() - t0)
+    sampling = result.extras["sampling"]
+    print(f"\nwindows        : {sampling['windows']} x {window} items/CPU "
+          f"(measured {sampling['measured_items']:,} items, "
+          f"fast-forwarded {sampling['ff_items']:,})")
+    print(f"time per unit  : {result.time_per_unit_ns:,.0f} ns "
+          f"(extrapolated)")
+    print(breakdown_bar(f"{config.name}/{args.workload}",
+                        result.busy_frac, result.l2_frac, result.mem_frac))
+    print(f"L1 misses: {result.miss_hit_frac:.0%} L2 hit, "
+          f"{result.miss_fwd_frac:.0%} L1-to-L1 forward, "
+          f"{result.miss_mem_frac:.0%} memory")
+    print("\n95% confidence (across windows):")
+    for name, stats in sampling["error"].items():
+        if stats["n"] > 1:
+            print(f"  {name:<14} {stats['mean']:.4f} +/- {stats['ci95']:.4f} "
+                  f"({stats['rel_err']:.1%})")
+    print(f"\nwall time      : {result.sim_wall_s:.2f} s")
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """``run``: simulate one workload on one configuration."""
     config, system, checker = _build_checked_system(args)
+    if getattr(args, "sampled", False):
+        return _run_sampled_cli(args, config, system)
     checkpointer = None
     every_us = getattr(args, "checkpoint_every", 0) or 0
     if every_us:
@@ -555,6 +597,21 @@ def main(argv=None) -> int:
                             "simulated microseconds; on a sanitizer "
                             "violation, restore the last one and replay "
                             "the final window with the trace armed")
+    run_p.add_argument("--sampled", action="store_true",
+                       help="SMARTS-style sampled simulation: functional "
+                            "fast-forward with short detailed measurement "
+                            "windows and per-class confidence intervals")
+    run_p.add_argument("--window", type=int, default=0, metavar="ITEMS",
+                       help="items per CPU per detailed window "
+                            "(--sampled; default 800)")
+    run_p.add_argument("--period", type=int, default=0, metavar="ITEMS",
+                       help="items per CPU fast-forwarded between windows "
+                            "(--sampled; default 6000)")
+    run_p.add_argument("--warming", default="functional",
+                       choices=("functional", "detailed"),
+                       help="fast-forward regime for --sampled: functional "
+                            "(event-free warming) or detailed (no "
+                            "approximation; validation mode)")
     run_p.set_defaults(fn=cmd_run)
 
     report_p = sub.add_parser(

@@ -25,8 +25,8 @@ from typing import Any, Dict, Optional, Tuple
 from .format import (CheckpointError, SCHEMA, build_manifest,
                      read_checkpoint, read_manifest, validate_manifest,
                      write_checkpoint)
-from .machine import (PeriodicCheckpointer, WarmCapture, restore_system,
-                      snapshot_bytes)
+from .machine import (PeriodicCheckpointer, WarmCapture, WindowHandoff,
+                      restore_system, snapshot_bytes)
 from .pickling import CheckpointPickler, dumps, loads
 from .store import WARM_STORE, WarmStore, warm_key
 
@@ -34,7 +34,7 @@ __all__ = [
     "CheckpointError", "SCHEMA",
     "CheckpointPickler", "dumps", "loads",
     "snapshot_bytes", "restore_system", "WarmCapture",
-    "PeriodicCheckpointer",
+    "PeriodicCheckpointer", "WindowHandoff",
     "WarmStore", "WARM_STORE", "warm_key",
     "save_checkpoint", "load_checkpoint", "checkpoint_info",
     "build_manifest", "read_checkpoint", "read_manifest",

@@ -41,14 +41,21 @@ __all__ = ["WarmStore", "WARM_STORE", "warm_key"]
 
 def warm_key(config, factory, num_nodes: int, units_attr: str,
              check_coherence: bool, trace_capacity: int, probe_rate: int,
-             sample_interval_ps: int) -> Optional[str]:
+             sample_interval_ps: int,
+             variant: str = "detailed") -> Optional[str]:
     """Warm-store key for one (config, workload) point, or None if the
-    workload has no stable identity."""
+    workload has no stable identity.
+
+    ``variant`` namespaces snapshots whose warm state is *not* the
+    detailed warm-up image: sampled runs park their CPUs at the boundary
+    (and functional warming is an approximation), so their snapshots
+    must never answer a ``warmup=True`` detailed run, and vice versa.
+    The default leaves historical detailed keys unchanged.
+    """
     token = workload_token(factory)
     if token is None:
         return None
-    payload = json.dumps(
-        {
+    fields = {
             "schema": ckpt_format.SCHEMA,
             "python": ckpt_format.python_version_tag(),
             "lib": library_fingerprint(),
@@ -61,9 +68,10 @@ def warm_key(config, factory, num_nodes: int, units_attr: str,
             "probe": int(probe_rate),
             "sample": int(sample_interval_ps),
             "scale": os.environ.get("REPRO_SCALE", "1.0"),
-        },
-        sort_keys=True,
-    )
+    }
+    if variant != "detailed":
+        fields["variant"] = variant
+    payload = json.dumps(fields, sort_keys=True)
     return hashlib.sha256(payload.encode()).hexdigest()
 
 

@@ -99,6 +99,7 @@ class L2Bank(Component):
         self._set_mask = self.num_sets - 1
         self._bank_mask = p.banks - 1
         self._bank_shift = LINE_SHIFT
+        self._nbank_bits = self._bank_mask.bit_length()
         # Per-set OrderedDict tag -> L2Line in *load* order (replacement is
         # least-recently-loaded; lookups do not reorder).
         self.sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
@@ -150,10 +151,10 @@ class L2Bank(Component):
     # -- geometry ----------------------------------------------------------
 
     def _set_of(self, line: int) -> int:
-        return ((line >> LINE_SHIFT) >> self._bank_bits()) & self._set_mask
+        return ((line >> LINE_SHIFT) >> self._nbank_bits) & self._set_mask
 
     def _bank_bits(self) -> int:
-        return (self._bank_mask).bit_length()
+        return self._nbank_bits
 
     def _l2_line(self, line: int) -> Optional[L2Line]:
         return self.sets[self._set_of(line)].get(line >> LINE_SHIFT)
@@ -574,6 +575,165 @@ class L2Bank(Component):
             self.schedule(0, self.request, next_req, next_type)
 
     # -----------------------------------------------------------------------
+    # Functional warming (fast-forward mode)
+    # -----------------------------------------------------------------------
+
+    def warm_request(self, cpu_id: int, is_instr: bool,
+                     reqtype: RequestType, line: int) -> Optional[ReplySource]:
+        """Serve one L1 miss synchronously: same state mutations as the
+        event path (L1 fill, duplicate tags, victim-cache flow, DRAM page
+        state, checker hooks, counters), zero simulated time, zero events.
+
+        Fast-forward phases use this to keep the memory hierarchy warm
+        between detailed measurement windows.  Returns the
+        :class:`ReplySource` the detailed path would have charged, or
+        ``None`` when the access is not warm-eligible — a line still
+        in flight from a previous window, or a multi-node access that
+        would need a protocol-engine transaction (remote home, remote
+        sharers, or an upgrade the home must serialise).  Declined
+        accesses leave all state untouched; the caller advances its
+        stream statistically instead.
+        """
+        if line in self.pending or line in self.wb_buffer:
+            return None
+        chip = self.chip
+        multi = chip.num_nodes > 1
+        cache_id = cpu_id * 2 + (1 if is_instr else 0)
+        exclusive = reqtype != RequestType.READ
+        if exclusive and self._must_wait_for_home(line):
+            return None
+        if (exclusive and multi and chip.is_home(line)
+                and line in self.remote_cached):
+            # an eager exclusive grant here would have to drive a remote
+            # invalidation campaign through the home engine
+            return None
+        dup_e = self.dup.entries.get(line)
+        l1_owner = dup_e.owner if dup_e is not None else None
+        if l1_owner == L2_OWNER:
+            l1_owner = None
+        if l1_owner is not None and l1_owner != cache_id:
+            owner_l1 = chip.l1_by_id(l1_owner)
+            owner_line = owner_l1.peek(line)
+            if owner_line is None:
+                return None
+            self.c_requests.inc()
+            self.c_fwds.inc()
+            version = owner_line.version
+            dirty = owner_line.dirty
+            if reqtype == RequestType.READ:
+                owner_l1.downgrade(line)
+                owner_l1.set_owner(line, False)
+                if chip.checker is not None:
+                    chip.checker.on_downgrade(chip.node_id, l1_owner, line)
+                # dirtiness travels with ownership (see _finish_fwd)
+                owner_line.dirty = False
+                if l1_owner in dup_e.sharers:
+                    dup_e.states[l1_owner] = MESI.SHARED
+                dup_e.owner = None
+                self._warm_fill(cache_id, line, MESI.SHARED, True,
+                                version, dirty, ReplySource.L2_FWD)
+            else:
+                self._warm_fill(cache_id, line, MESI.MODIFIED, True,
+                                version + 1, True, ReplySource.L2_FWD)
+            return ReplySource.L2_FWD
+        if dup_e is not None and cache_id in dup_e.sharers:
+            own = chip.l1_by_id(cache_id).peek(line)
+            if own is not None:
+                self.c_requests.inc()
+                if reqtype == RequestType.READ:
+                    self._warm_fill(cache_id, line, own.state,
+                                    own.owner, own.version, own.dirty,
+                                    ReplySource.L2_HIT)
+                else:
+                    self.c_upgrades.inc()
+                    self._warm_fill(cache_id, line, MESI.MODIFIED,
+                                    True, own.version + 1, True,
+                                    ReplySource.L2_HIT)
+                return ReplySource.L2_HIT
+        l2line = self.sets[
+            ((line >> LINE_SHIFT) >> self._nbank_bits) & self._set_mask
+        ].get(line >> LINE_SHIFT)
+        if l2line is not None:
+            self.c_requests.inc()
+            self.c_hits.inc()
+            version = l2line.version
+            others = (dup_e is not None
+                      and bool(dup_e.sharers - {cache_id}))
+            if reqtype == RequestType.READ:
+                can_be_exclusive = (
+                    not others
+                    and line not in self.remote_cached
+                    and self.our_mode.get(line) != "S"
+                )
+                if can_be_exclusive:
+                    if not self.inclusive:
+                        self._drop_l2_copy(line, l2line)
+                    self._warm_fill(cache_id, line, MESI.EXCLUSIVE,
+                                    True, version, l2line.dirty,
+                                    ReplySource.L2_HIT)
+                else:
+                    self.dup.set_l2_owner(line)
+                    self._warm_fill(cache_id, line, MESI.SHARED,
+                                    False, version, False,
+                                    ReplySource.L2_HIT)
+            else:
+                self._warm_fill(cache_id, line, MESI.MODIFIED, True,
+                                version + 1, True, ReplySource.L2_HIT)
+            return ReplySource.L2_HIT
+        # L2 miss: only home-local, remotely-uncached lines can be filled
+        # without engine involvement.
+        if reqtype == RequestType.EXCLUSIVE:
+            reqtype = RequestType.READ_EXCLUSIVE
+        if multi:
+            if not chip.is_home(line):
+                return None
+            if chip.dirstore.read(line).state != DirState.UNCACHED:
+                return None
+        self.c_requests.inc()
+        wants_data = reqtype != RequestType.EXCLUSIVE_NO_DATA
+        if not wants_data:
+            self.c_wh64_data_avoided.inc()
+        if wants_data or multi:
+            chip.mc_for_bank(self.bank_idx).warm_read_line(line)
+        version = chip.mem_version(line)
+        self.c_local_mem.inc()
+        if reqtype == RequestType.READ:
+            self._warm_fill(cache_id, line, MESI.EXCLUSIVE, True,
+                            version, False, ReplySource.LOCAL_MEM)
+        else:
+            self._warm_fill(cache_id, line, MESI.MODIFIED, True,
+                            version + 1, True, ReplySource.LOCAL_MEM)
+        return ReplySource.LOCAL_MEM
+
+    def _warm_fill(self, cache_id: int, line: int, state: MESI,
+                   owner: bool, version: int, dirty: bool,
+                   source: ReplySource) -> None:
+        """:meth:`_fill` minus the event-path plumbing (probe stamps,
+        request completion, pending-entry resolution): identical cache /
+        duplicate-tag / checker mutations.  L1 evictions route through
+        the normal synchronous victim-cache cascade, so warm fills
+        exercise the real replacement policy; on multi-node systems that
+        cascade may schedule a remote write-back, which the fast-forward
+        driver drains before advancing time."""
+        chip = self.chip
+        if source in (ReplySource.LOCAL_MEM, ReplySource.REMOTE_MEM,
+                      ReplySource.REMOTE_DIRTY):
+            self._allocate_if_inclusive(line, version)
+        if state is MESI.EXCLUSIVE or state is MESI.MODIFIED:
+            self._invalidate_on_chip(line, except_cache=cache_id)
+            if not self.inclusive:
+                self._drop_l2_copy(line, self._l2_line(line))
+        l1 = chip.l1_of(cache_id >> 1, bool(cache_id & 1))
+        evicted = l1.fill(line, state, owner=owner, version=version,
+                          dirty=dirty)
+        self.dup.add_sharer(line, cache_id, state, make_owner=owner)
+        if chip.checker is not None:
+            chip.checker.on_fill(chip.node_id, cache_id, line,
+                                 state, version)
+        if evicted is not None:
+            chip.route_l1_eviction(cache_id, evicted)
+
+    # -----------------------------------------------------------------------
     # L1 replacement handling (victim-cache fill policy)
     # -----------------------------------------------------------------------
 
@@ -595,12 +755,8 @@ class L2Bank(Component):
         # Owner replacement: write the line back into the L2 (victim fill)
         # even when clean — this is what makes the L2 a victim cache.
         self.c_l1_wb_owner.inc()
-        remaining = self.dup.sharers(line)
         self._victim_fill(line, ev.version, ev.dirty)
-        if remaining:
-            self.dup.set_l2_owner(line)
-        else:
-            self.dup.set_l2_owner(line)
+        self.dup.set_l2_owner(line)
 
     def _victim_fill(self, line: int, version: int, dirty: bool) -> None:
         lset = self.sets[self._set_of(line)]
@@ -703,7 +859,10 @@ class L2Bank(Component):
     # -----------------------------------------------------------------------
 
     def _invalidate_on_chip(self, line: int, except_cache: Optional[int]) -> None:
-        for sharer in list(self.dup.sharers(line)):
+        e = self.dup.entries.get(line)
+        if e is None:
+            return
+        for sharer in list(e.sharers):
             if sharer == except_cache:
                 continue
             l1 = self.chip.l1_by_id(sharer)

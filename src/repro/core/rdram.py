@@ -113,6 +113,40 @@ class RdramChannel(Component):
         return MemAccessResult(critical_word_ps=critical, line_done_ps=done,
                                page_hit=page_hit)
 
+    def warm_access(self, addr: int, is_write: bool = False) -> bool:
+        """Page-state-only access for functional warming.
+
+        Counts the access and updates the open-page table exactly like
+        :meth:`access`, but leaves channel occupancy alone: fast-forward
+        passes no simulated time, so accumulating 40 ns of transfer
+        backlog per warmed line at a frozen clock would poison the next
+        detailed window with a phantom queue.  Returns the page-hit
+        outcome.
+        """
+        now = self.now
+        self.c_accesses.inc()
+        (self.c_writes if is_write else self.c_reads).inc()
+        device = self._device_of(addr)
+        page = self._page_of(addr)
+        bank = (page // self.mem.rdram_per_channel) % self.mem.banks_per_device
+        open_info = self._open_pages.get((device, bank))
+        page_hit = (
+            open_info is not None
+            and open_info[0] == page
+            and now <= open_info[1]
+        )
+        if page_hit:
+            self.c_page_hits.inc()
+        self._open_pages[(device, bank)] = (page, now + self.keep_open_ps)
+        return page_hit
+
+    def forgive_backlog(self) -> None:
+        """Drop any channel backlog beyond the current time (warm-phase
+        write-backs route through the detailed :meth:`access` path and
+        would otherwise stack occupancy at a frozen clock)."""
+        if self._channel_free > self.now:
+            self._channel_free = self.now
+
     # -- stats -------------------------------------------------------------
 
     @property
@@ -179,3 +213,10 @@ class MemoryController(Component):
             line_done_ps=res.line_done_ps + self.t_overhead,
             page_hit=res.page_hit,
         )
+
+    def warm_read_line(self, addr: int) -> bool:
+        """Timing-free line read for functional warming: advances the
+        channel's page state (and access counters) without occupying the
+        channel.  Returns the page-hit outcome."""
+        return self.channel.warm_access(self._channel_addr(addr),
+                                        is_write=False)

@@ -1,0 +1,545 @@
+"""SMARTS-style sampled simulation: fast-forward + detailed windows.
+
+A :class:`SampledRun` alternates two regimes over one built system:
+
+* **fast-forward** — the :class:`~repro.fastforward.warm.FunctionalWarmer`
+  consumes ``period`` work items per CPU off the reference streams,
+  warming L1/L2/duplicate-tag/directory/DRAM state with no events and no
+  timing, then jumps the clock statistically
+  (:meth:`~repro.sim.engine.Simulator.advance_to`) using the per-item
+  cycle rate observed in the last detailed window;
+* **detailed window** — each CPU's thread is wrapped in a budget-limited
+  :class:`PhaseStream` (``window`` items) and the full event-driven model
+  runs to drain; per-CPU deltas of busy/stall time and the system miss
+  breakdown are recorded as one measurement.
+
+Between phases the machine is optionally round-tripped through the
+checkpoint subsystem (:class:`~repro.checkpoint.machine.WindowHandoff`),
+so every measurement window provably runs on a snapshot-restored
+machine — that is the hand-off the bit-identity gate validates with
+``warming="detailed"``, where fast-forward is replaced by running the
+skipped spans through the detailed model too.
+
+End-to-end metrics are ratio estimates over the windows; per-class 95%
+confidence intervals (1.96·s/√n across windows) ride along in
+``extras["sampling"]["error"]``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from ..checkpoint.machine import WindowHandoff
+from ..core.cpu import WARMUP_DONE
+from .warm import FunctionalWarmer
+
+try:  # numpy is optional everywhere in this package
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+CpuKey = Tuple[int, int]  # (node_id, cpu_id)
+
+
+class PhaseStream:
+    """Budget-limited view of one CPU's workload thread for one phase.
+
+    Installed as ``cpu.thread`` for the duration of a detailed phase; it
+    delegates to the real thread (so ``emitted`` keeps counting and
+    checkpoints stay consistent) and raises StopIteration when the
+    phase's item budget is spent.  ``grant_until_warm`` instead hands
+    items out up to and including the warm-up sentinel, which lets the
+    detailed model run exactly the warm-up span as one phase.  ``ilp``
+    mirrors the thread's so out-of-order CPUs keep their issue width.
+    """
+
+    def __init__(self, thread) -> None:
+        self.thread = thread
+        self.ilp = getattr(thread, "ilp", 1.0)
+        self.budget = 0
+        self.consumed = 0
+        self.until_warm = False
+        self.exhausted = False
+        self._boundary_emitted = False
+
+    def grant(self, items: int) -> None:
+        self.budget = int(items)
+        self.consumed = 0
+        self.until_warm = False
+
+    def grant_until_warm(self) -> None:
+        self.until_warm = True
+        self.consumed = 0
+        self._boundary_emitted = False
+
+    def __iter__(self) -> "PhaseStream":
+        return self
+
+    def __next__(self):
+        if self.until_warm:
+            if self._boundary_emitted:
+                raise StopIteration
+        elif self.budget <= 0:
+            raise StopIteration
+        try:
+            item = next(self.thread)
+        except StopIteration:
+            self.exhausted = True
+            self.budget = 0
+            raise
+        self.consumed += 1
+        if self.until_warm:
+            if item[1] is None and item[2] == WARMUP_DONE:
+                self._boundary_emitted = True
+        else:
+            self.budget -= 1
+        return item
+
+
+class SampledRun:
+    """Drive one system through warm-up, then window/period alternation.
+
+    Parameters
+    ----------
+    window:
+        work items per CPU per detailed measurement window.
+    period:
+        work items per CPU fast-forwarded between windows (0 disables
+        fast-forward entirely: one window runs the remaining stream).
+    warming:
+        ``"functional"`` (default) warms via the event-free path;
+        ``"detailed"`` runs warm-up and the inter-window spans through
+        the full model too — same phase structure, no approximation —
+        which is what the bit-identity gate compares against.
+    handoff:
+        ``"capture"`` (default) snapshots the machine at every window
+        boundary through the checkpoint subsystem and keeps running the
+        live machine — the boundary snapshot is the resumable hand-off
+        artifact, and restore equivalence is proven by the bit-identity
+        gate; ``"restore"`` additionally rebuilds the machine from each
+        snapshot before the window runs (what the gate test does);
+        ``"none"`` skips snapshots entirely.
+    reuse_generators:
+        with ``handoff="restore"``, move the live workload generators
+        onto the restored threads instead of replaying them from seed
+        (identical streams either way; replay is the slow, fully
+        self-contained path the gate test exercises).
+    warm_tail:
+        per-CPU warming window for the *warm-up* span: ``None`` (default)
+        applies every item's cache effects; an integer N skims all but
+        the most recent N items (stream position and instruction counts
+        only).  Warm-up state has long memory (the L2 victim cache is
+        built from the whole span), so skimming here trades accuracy for
+        speed steeply.  Ignored with ``warming="detailed"``.
+    ff_tail:
+        per-CPU warming window for the *inter-window* fast-forward
+        periods, same convention (``None`` = apply everything, N = apply
+        the last N, 0 = pure skim).  Between-window spans are short, so
+        a small tail here is much cheaper in accuracy than ``warm_tail``.
+    window_warm:
+        detailed (unrecorded) items run per CPU immediately before each
+        measurement window — SMARTS-style detailed warming that repairs
+        any staleness a skimmed fast-forward period left behind.  0
+        disables.
+    skip_warm:
+        the system was already warmed (e.g. restored from the warm
+        checkpoint store at its boundary): skip straight to sampling.
+    on_warm:
+        callback invoked as ``on_warm(system)`` once the warm boundary
+        is reached (event queue drained, CPUs parked) — the runner uses
+        it to persist the warm state for later sampled runs.
+    """
+
+    def __init__(self, system, window: int, period: int,
+                 warming: str = "functional", handoff: str = "capture",
+                 reuse_generators: bool = True,
+                 warm_tail: Optional[int] = None,
+                 ff_tail: Optional[int] = 1000,
+                 window_warm: int = 0,
+                 skip_warm: bool = False,
+                 on_warm=None) -> None:
+        if window <= 0:
+            raise ValueError("window must be a positive item count")
+        if period < 0:
+            raise ValueError("period must be >= 0")
+        if warm_tail is not None and warm_tail < 0:
+            raise ValueError("warm_tail must be >= 0 or None")
+        if ff_tail is not None and ff_tail < 0:
+            raise ValueError("ff_tail must be >= 0 or None")
+        if window_warm < 0:
+            raise ValueError("window_warm must be >= 0")
+        if warming not in ("functional", "detailed"):
+            raise ValueError(f"unknown warming mode {warming!r}")
+        if handoff not in ("restore", "capture", "none"):
+            raise ValueError(f"unknown handoff mode {handoff!r}")
+        self.system = system
+        self.window = int(window)
+        self.period = int(period)
+        self.warming = warming
+        self.warm_tail = None if warm_tail is None else int(warm_tail)
+        self.ff_tail = None if ff_tail is None else int(ff_tail)
+        self.window_warm = int(window_warm)
+        self.skip_warm = bool(skip_warm)
+        self.on_warm = on_warm
+        self._handoff_mode = handoff
+        self.handoff: Optional[WindowHandoff] = (
+            None if handoff == "none"
+            else WindowHandoff(reuse_generators=reuse_generators))
+        self.warmer = FunctionalWarmer()
+        self.windows: List[Dict[str, object]] = []
+        self.measured_items = 0
+        self.ff_items = 0
+        self._exhausted: set = set()
+        self._rate: Dict[CpuKey, float] = {}     # ps per item, last window
+        self._est_ps: Dict[CpuKey, float] = {}   # estimated post-warm time
+        self._ran = False
+
+    # -- bookkeeping helpers ----------------------------------------------
+
+    @staticmethod
+    def _key(cpu) -> CpuKey:
+        return (cpu.chip.node_id, cpu.cpu_id)
+
+    def _live(self) -> list:
+        out = []
+        for node in self.system.nodes:
+            for cpu in node.cpus:
+                if cpu.thread is None:
+                    continue
+                if (node.node_id, cpu.cpu_id) in self._exhausted:
+                    continue
+                out.append(cpu)
+        return out
+
+    def _settle_warm_state(self) -> None:
+        """Drain warm-path protocol events and drop any DRAM channel
+        backlog the warm phase stacked at the frozen clock (eviction
+        write-backs route through the detailed channel path)."""
+        system = self.system
+        system.sim.run()
+        for node in system.nodes:
+            for mc in node.mcs:
+                mc.channel.forgive_backlog()
+
+    # -- warm-up -----------------------------------------------------------
+
+    def _functional_warm(self) -> None:
+        """Consume each thread through its warm-up sentinel event-free,
+        then reproduce the monolithic warm-boundary reset."""
+        system = self.system
+        buffers = []
+        for cpu in self._live():
+            buf, consumed, _hit, exhausted = self.warmer.collect(
+                cpu, stop_at_boundary=True, tail=self.warm_tail)
+            buffers.append((cpu, buf))
+            self.ff_items += consumed
+            if exhausted:
+                self._exhausted.add(self._key(cpu))
+        self.warmer.apply_interleaved(buffers)
+        self._settle_warm_state()
+        for node in system.nodes:
+            for cpu in node.cpus:
+                if cpu.thread is not None:
+                    cpu.reset_accounting()
+        system._warmed_cpus = sum(
+            1 for n in system.nodes for c in n.cpus if c.thread is not None)
+        system.reset_module_stats()
+        if system.on_warm_boundary is not None:
+            callback, system.on_warm_boundary = system.on_warm_boundary, None
+            callback()
+
+    # -- detailed phases ---------------------------------------------------
+
+    def _start_cpus(self, system, cpus) -> None:
+        """Restart parked CPUs for one phase, mirroring what
+        ``System.start``/``Chip.start_cpus`` do for the first run."""
+        for cpu in cpus:
+            cpu.finished = False
+            cpu.finish_time = None
+            if hasattr(cpu, "_drained_cb"):
+                cpu._drained_cb = False
+                cpu._blocked = False
+                cpu._draining_fence = False
+            cpu.chip._cpus_running += 1
+            system._running_cpus += 1
+            cpu.start()
+        system._started = True
+        if system._audit_interval_ps and system._running_cpus:
+            system.sim.schedule_every(system._audit_interval_ps,
+                                      system._continuous_audit)
+        if system.sampler is not None and system._running_cpus:
+            if not system.sampler._started:
+                system.sampler.start()
+            else:
+                # the fast-forwarded span shows up as one partial
+                # interval; the ticker chain ended with the last drain
+                system.sampler.flush()
+                system.sim.schedule_every(system.sampler.interval_ps,
+                                          system.sampler.tick)
+
+    def _run_detailed(self, budget: Optional[int], until_warm: bool,
+                      record: bool) -> None:
+        system = self.system
+        cpus = self._live()
+        if not cpus:
+            return
+        pre = self._measure_pre(system, cpus) if record else None
+        totals0 = {self._key(c): c.total_ps for c in cpus}
+        streams = []
+        for cpu in cpus:
+            stream = PhaseStream(cpu.thread)
+            if until_warm:
+                stream.grant_until_warm()
+            else:
+                stream.grant(budget)
+            cpu.thread = stream
+            streams.append((cpu, stream))
+        self._start_cpus(system, cpus)
+        system.sim.run()
+        if system._running_cpus != 0:
+            raise RuntimeError(
+                f"sampled phase stalled with {system._running_cpus} "
+                f"CPUs still running")
+        consumed: Dict[CpuKey, int] = {}
+        for cpu, stream in streams:
+            cpu.thread = stream.thread
+            key = self._key(cpu)
+            consumed[key] = stream.consumed
+            if record:
+                self.measured_items += stream.consumed
+            else:
+                self.ff_items += stream.consumed
+            if stream.exhausted:
+                self._exhausted.add(key)
+        for cpu in cpus:
+            key = self._key(cpu)
+            if until_warm:
+                # accounting was reset at the warm boundary mid-phase;
+                # the post-boundary contribution is what remains on the
+                # counters now (normally zero)
+                self._est_ps[key] = float(cpu.total_ps)
+            else:
+                delta = cpu.total_ps - totals0[key]
+                self._est_ps[key] = self._est_ps.get(key, 0.0) + delta
+                if record and consumed[key]:
+                    self._rate[key] = delta / consumed[key]
+        if record:
+            self._measure_post(system, cpus, pre, consumed)
+
+    def _measure_pre(self, system, cpus) -> Dict[str, object]:
+        return {
+            "cpu": {self._key(c): (c.busy_ps, c.stall_on_chip_ps,
+                                   c.stall_memory_ps, c.instructions)
+                    for c in cpus},
+            "mb": dict(system.miss_breakdown()),
+        }
+
+    def _measure_post(self, system, cpus, pre, consumed) -> None:
+        busy = onchip = mem = instrs = items = 0
+        for cpu in cpus:
+            key = self._key(cpu)
+            b0, o0, m0, i0 = pre["cpu"][key]
+            busy += cpu.busy_ps - b0
+            onchip += cpu.stall_on_chip_ps - o0
+            mem += cpu.stall_memory_ps - m0
+            instrs += cpu.instructions - i0
+            items += consumed[key]
+        mb0, mb1 = pre["mb"], system.miss_breakdown()
+        self.windows.append({
+            "index": len(self.windows),
+            "items": items,
+            "instructions": instrs,
+            "busy_ps": busy,
+            "onchip_ps": onchip,
+            "mem_ps": mem,
+            "miss": {k: mb1[k] - mb0.get(k, 0) for k in mb1},
+        })
+
+    # -- fast-forward ------------------------------------------------------
+
+    def _fast_forward(self, items: int) -> None:
+        system = self.system
+        advance = 0
+        buffers = []
+        for cpu in self._live():
+            key = self._key(cpu)
+            buf, consumed, _hit, exhausted = self.warmer.collect(
+                cpu, max_items=items, tail=self.ff_tail)
+            buffers.append((cpu, buf))
+            self.ff_items += consumed
+            est = consumed * self._rate.get(key, 0.0)
+            self._est_ps[key] = self._est_ps.get(key, 0.0) + est
+            advance = max(advance, int(est))
+            if exhausted:
+                self._exhausted.add(key)
+        self.warmer.apply_interleaved(buffers)
+        # the warm path may have scheduled protocol events (multi-node
+        # remote write-backs): drain them before jumping the clock
+        self._settle_warm_state()
+        if advance:
+            system.sim.advance_to(system.sim.now + advance)
+
+    # -- driver ------------------------------------------------------------
+
+    def run(self) -> List[Dict[str, object]]:
+        if self._ran:
+            raise RuntimeError("SampledRun.run() is single-shot")
+        self._ran = True
+        if not self.skip_warm:
+            if self.warming == "functional":
+                self._functional_warm()
+            else:
+                self._run_detailed(None, until_warm=True, record=False)
+            if self.on_warm is not None:
+                self.on_warm(self.system)
+        while self._live():
+            if self._handoff_mode == "restore":
+                self.system = self.handoff.handoff(self.system)
+            elif self._handoff_mode == "capture":
+                self.handoff.capture(self.system)
+            if self.window_warm and self.windows:
+                # detailed warming ahead of the window proper: repairs
+                # staleness left by a skimmed fast-forward period
+                self._run_detailed(self.window_warm, until_warm=False,
+                                   record=False)
+            self._run_detailed(self.window, until_warm=False, record=True)
+            if not self._live() or not self.period:
+                break
+            if self.warming == "functional":
+                self._fast_forward(self.period)
+            else:
+                self._run_detailed(self.period, until_warm=False,
+                                   record=False)
+        if self.system.sampler is not None:
+            self.system.sampler.finalize()
+        return self.windows
+
+    # -- statistics --------------------------------------------------------
+
+    @staticmethod
+    def _mean_ci(vals: List[float]) -> Dict[str, float]:
+        n = len(vals)
+        if n == 0:
+            return {"n": 0, "mean": 0.0, "ci95": 0.0, "rel_err": 0.0}
+        if _np is not None:
+            arr = _np.asarray(vals, dtype=float)
+            mean = float(arr.mean())
+            sd = float(arr.std(ddof=1)) if n > 1 else 0.0
+        else:
+            mean = sum(vals) / n
+            sd = (math.fsum((v - mean) ** 2 for v in vals)
+                  / (n - 1)) ** 0.5 if n > 1 else 0.0
+        ci = 1.96 * sd / math.sqrt(n) if n > 1 else 0.0
+        return {"n": n, "mean": mean, "ci95": ci,
+                "rel_err": ci / abs(mean) if mean else 0.0}
+
+    def error_bounds(self) -> Dict[str, Dict[str, float]]:
+        """Per-metric-class 95% confidence intervals across windows."""
+        obs: Dict[str, List[float]] = {
+            "busy_frac": [], "l2_frac": [], "mem_frac": [],
+            "miss_hit_frac": [], "miss_fwd_frac": [], "miss_mem_frac": [],
+            "ps_per_item": [],
+        }
+        for w in self.windows:
+            total = w["busy_ps"] + w["onchip_ps"] + w["mem_ps"]
+            if total > 0:
+                obs["busy_frac"].append(w["busy_ps"] / total)
+                obs["l2_frac"].append(w["onchip_ps"] / total)
+                obs["mem_frac"].append(w["mem_ps"] / total)
+            if w["items"]:
+                obs["ps_per_item"].append(total / w["items"])
+            miss = w["miss"]
+            served = sum(miss.values())
+            if served > 0:
+                obs["miss_hit_frac"].append(miss.get("l2_hit", 0) / served)
+                obs["miss_fwd_frac"].append(miss.get("l2_fwd", 0) / served)
+                obs["miss_mem_frac"].append(miss.get("l2_miss", 0) / served)
+        return {name: self._mean_ci(vals) for name, vals in obs.items()}
+
+    def sampling_summary(self) -> Dict[str, object]:
+        return {
+            "mode": "sampled",
+            "warming": self.warming,
+            "window": self.window,
+            "period": self.period,
+            "warm_tail": self.warm_tail,
+            "ff_tail": self.ff_tail,
+            "window_warm": self.window_warm,
+            "skip_warm": self.skip_warm,
+            "windows": len(self.windows),
+            "measured_items": self.measured_items,
+            "ff_items": self.ff_items,
+            "handoffs": self.handoff.captures if self.handoff else 0,
+            "handoff_bytes": self.handoff.bytes_total if self.handoff else 0,
+            "warm": self.warmer.summary(),
+            "error": self.error_bounds(),
+        }
+
+    # -- result assembly ---------------------------------------------------
+
+    def to_result(self, config, num_nodes: int,
+                  units_attr: str = "transactions",
+                  probe_rate: int = 0, sample_interval_ps: int = 0,
+                  wall: float = 0.0):
+        """Build a :class:`~repro.harness.runner.RunResult` whose totals
+        are the sampled (extrapolated) estimates."""
+        from ..harness.runner import RunResult
+
+        system = self.system
+        workload = system.workload
+        sanitizer: Dict[str, object] = {}
+        if system.checker is not None:
+            sanitizer = dict(system.verify())
+        busy = sum(w["busy_ps"] for w in self.windows)
+        onchip = sum(w["onchip_ps"] for w in self.windows)
+        mem = sum(w["mem_ps"] for w in self.windows)
+        total = (busy + onchip + mem) or 1
+        miss: Dict[str, int] = {}
+        for w in self.windows:
+            for k, v in w["miss"].items():
+                miss[k] = miss.get(k, 0) + v
+        served = sum(miss.values()) or 1
+        units = getattr(workload.params, units_attr)
+        per_cpu_ps = max(self._est_ps.values()) if self._est_ps else 0.0
+        time_per_unit_ns = per_cpu_ps / units / 1000.0 if units else 0.0
+        total_cpus = config.cpus * num_nodes
+        throughput = (total_cpus * 1e9 / time_per_unit_ns
+                      if time_per_unit_ns else 0.0)
+        result = RunResult(
+            config=config.name,
+            cpus=config.cpus,
+            nodes=num_nodes,
+            workload=getattr(workload, "name", "?"),
+            units=units,
+            time_per_unit_ns=time_per_unit_ns,
+            throughput=throughput,
+            busy_frac=busy / total,
+            l2_frac=onchip / total,
+            mem_frac=mem / total,
+            miss_hit_frac=miss.get("l2_hit", 0) / served,
+            miss_fwd_frac=miss.get("l2_fwd", 0) / served,
+            miss_mem_frac=miss.get("l2_miss", 0) / served,
+            sim_wall_s=wall,
+            extras=dict(sanitizer),
+        )
+        result.extras["sampling"] = self.sampling_summary()
+        if probe_rate or sample_interval_ps:
+            from ..harness.metrics import metrics_doc
+
+            result.extras["metrics"] = metrics_doc(
+                system, result, probe_rate, sample_interval_ps)
+        post = getattr(workload, "post_run", None)
+        if post is not None:
+            post(system, result)
+        return result
+
+
+def run_sampled(system, window: int, period: int,
+                warming: str = "functional", handoff: str = "restore",
+                reuse_generators: bool = True, **kw) -> SampledRun:
+    """Convenience wrapper: build, run, and return a :class:`SampledRun`."""
+    run = SampledRun(system, window, period, warming=warming,
+                     handoff=handoff, reuse_generators=reuse_generators, **kw)
+    run.run()
+    return run

@@ -1,0 +1,195 @@
+"""Functional (event-free) warming of the memory hierarchy.
+
+Fast-forward phases advance the machine *without the event queue*: work
+items are pulled straight off each CPU's workload thread in batches and
+their cache effects applied synchronously — L1 lookups (with their LRU /
+silent-upgrade side effects), TLB touches, and for L1 misses the L2
+bank's :meth:`~repro.core.l2.L2Bank.warm_request` mirror of the detailed
+service path (duplicate tags, victim-cache flow, DRAM page state,
+checker hooks).  No simulated time passes and no timing is charged; the
+point is that a detailed measurement window opened right after a
+fast-forward phase sees the L1s, L2, duplicate tags, directory and DRAM
+row buffers in the state a monolithic run would have left them.
+
+Batches are pulled as flat per-CPU reference-stream chunks so the
+instruction accounting vectorises (numpy when available, plain Python
+otherwise); the cache mutations themselves are inherently sequential.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from itertools import islice
+from typing import Dict, Optional, Tuple
+
+from ..core.cpu import WARMUP_DONE
+from ..core.messages import AccessKind, request_for
+from ..mem.addr import line_addr
+
+try:  # numpy is optional: aggregation falls back to pure Python
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: work items pulled from a thread per batch during fast-forward periods
+CHUNK_ITEMS = 2048
+
+
+class FunctionalWarmer:
+    """Event-free executor for workload reference streams.
+
+    One warmer serves a whole sampled run; it keeps aggregate telemetry
+    (items, instructions, references, warm-served vs declined misses)
+    that the orchestrator surfaces under ``extras["sampling"]["warm"]``.
+    """
+
+    def __init__(self) -> None:
+        self.items = 0
+        self.instructions = 0
+        self.refs = 0
+        self.l1_hits = 0
+        self.warmed = 0    # L1 misses served by the warm path
+        self.skipped = 0   # L1 misses declined (not warm-eligible)
+        self.skimmed = 0   # items consumed without cache application
+        self.membars = 0
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "items": self.items,
+            "instructions": self.instructions,
+            "refs": self.refs,
+            "l1_hits": self.l1_hits,
+            "warmed_misses": self.warmed,
+            "skipped_misses": self.skipped,
+            "skimmed_items": self.skimmed,
+            "membars": self.membars,
+        }
+
+    # -- stream consumption ------------------------------------------------
+
+    def collect(self, cpu, max_items: Optional[int] = None,
+                stop_at_boundary: bool = False,
+                tail: Optional[int] = None):
+        """Consume items from *cpu*'s thread WITHOUT applying them yet.
+
+        Counts instructions as it goes and keeps the last *tail* items
+        (all of them when ``tail`` is None) for later application via
+        :meth:`apply_interleaved` — items are plain tuples, so applying
+        them after collection is identical to applying them at
+        consumption time (the warm path is time-free).  Dropping all but
+        the tail of a long span is the classic warming-window
+        approximation: the recency state the next detailed window reads
+        is rebuilt by the tail, while the skimmed prefix only costs
+        stream generation (~1 µs/item instead of a full cache update).
+
+        With ``stop_at_boundary=True`` consumption stops after the
+        warm-up sentinel (which is never buffered).  Returns
+        ``(buffered_items, consumed, hit_boundary, exhausted)``.
+        """
+        thread = cpu.thread
+        consumed = 0
+        hit_boundary = False
+        exhausted = False
+        buf = deque(maxlen=tail)
+        if stop_at_boundary:
+            instructions = 0
+            for item in thread:
+                consumed += 1
+                if item[1] is None and item[2] == WARMUP_DONE:
+                    hit_boundary = True
+                    break
+                instructions += item[0]
+                buf.append(item)
+            else:
+                exhausted = True
+            self.instructions += instructions
+        else:
+            remaining = int(max_items) if max_items is not None else -1
+            while remaining:
+                want = CHUNK_ITEMS if remaining < 0 else min(CHUNK_ITEMS,
+                                                             remaining)
+                batch = list(islice(thread, want))
+                if not batch:
+                    exhausted = True
+                    break
+                consumed += len(batch)
+                if remaining > 0:
+                    remaining -= len(batch)
+                if _np is not None:
+                    self.instructions += int(_np.fromiter(
+                        (it[0] for it in batch), dtype=_np.int64,
+                        count=len(batch)).sum())
+                else:
+                    self.instructions += sum(it[0] for it in batch)
+                buf.extend(batch)
+        self.items += consumed
+        self.skimmed += consumed - len(buf)
+        return buf, consumed, hit_boundary, exhausted
+
+    def apply_interleaved(self, buffers, batch: int = 128) -> None:
+        """Apply collected item buffers, round-robin across CPUs.
+
+        *buffers* is a list of ``(cpu, items)`` pairs.  Interleaving in
+        small batches matters for shared lines: applying one CPU's whole
+        span before the next would leave every contended line owned by
+        the last CPU processed, skewing the L1-forward mix the following
+        detailed window measures.
+        """
+        work = []
+        for cpu, items in buffers:
+            chip = cpu.chip
+            work.append((chip, cpu, chip.l1_of(cpu.cpu_id, True),
+                         chip.l1_of(cpu.cpu_id, False), iter(items)))
+        apply = self._apply
+        while work:
+            still = []
+            for entry in work:
+                chip, cpu, l1i, l1d, it = entry
+                n = 0
+                for item in it:
+                    apply(chip, cpu, l1i, l1d, item)
+                    n += 1
+                    if n >= batch:
+                        still.append(entry)
+                        break
+            work = still
+
+    def advance(self, cpu, max_items: Optional[int] = None,
+                stop_at_boundary: bool = False,
+                tail: Optional[int] = None) -> Tuple[int, bool, bool]:
+        """Collect-and-apply for a single CPU (no interleaving)."""
+        buf, consumed, hit_boundary, exhausted = self.collect(
+            cpu, max_items, stop_at_boundary, tail)
+        self.apply_interleaved([(cpu, buf)])
+        return consumed, hit_boundary, exhausted
+
+    def _apply(self, chip, cpu, l1i, l1d, item) -> None:
+        """Apply one work item's cache effects (no time, no events)."""
+        _instrs, kind, addr, _dep = item
+        if kind is None:
+            return
+        if kind == AccessKind.MEMBAR:
+            # no eager-grant acks can be outstanding between events, so a
+            # fence is an instant no-op here; keep its counter moving
+            self.membars += 1
+            cpu.c_membar.inc()
+            return
+        self.refs += 1
+        is_instr = kind == AccessKind.IFETCH
+        if cpu.tlb_refill_ps:
+            tlb = cpu.itlb if is_instr else cpu.dtlb
+            tlb.lookup(addr)
+        l1 = l1i if is_instr else l1d
+        result = l1.lookup(addr, kind)
+        if result.hit:
+            self.l1_hits += 1
+            return
+        if kind == AccessKind.WH64:
+            cpu.c_wh64.inc()
+        reqtype = request_for(kind, result.state)
+        line = line_addr(addr)
+        if chip.bank_for(addr).warm_request(
+                cpu.cpu_id, is_instr, reqtype, line) is None:
+            self.skipped += 1
+        else:
+            self.warmed += 1

@@ -167,11 +167,12 @@ def validate_metrics(doc: Dict[str, object]) -> List[str]:
             if key not in ts:
                 problems.append(f"timeseries block missing {key!r}")
         for i, rec in enumerate(ts.get("intervals") or []):
-            for key in ("index", "t0_ps", "t1_ps", "reset", "deltas"):
+            for key in ("index", "t0_ps", "t1_ps", "reset", "partial",
+                        "deltas"):
                 if key not in rec:
                     problems.append(f"interval {i} missing {key!r}")
-            if rec.get("t1_ps", 0) < rec.get("t0_ps", 0):
-                problems.append(f"interval {i} runs backwards")
+            if rec.get("t1_ps", 0) <= rec.get("t0_ps", 0):
+                problems.append(f"interval {i} has non-positive width")
     if not isinstance(doc.get("counters"), list):
         problems.append("counters block is not a list of node reports")
     return problems
@@ -199,14 +200,15 @@ def timeseries_csv(doc: Dict[str, object]) -> str:
         delta_keys.update(rec.get("deltas", {}))
         derived_keys.update(rec.get("derived", {}))
         gauge_keys.update(rec.get("gauges", {}))
-    header = (["index", "t0_ps", "t1_ps", "reset"]
+    header = (["index", "t0_ps", "t1_ps", "reset", "partial"]
               + [f"d_{k}" for k in sorted(delta_keys)]
               + [f"r_{k}" for k in sorted(derived_keys)]
               + [f"g_{k}" for k in sorted(gauge_keys)])
     lines = [",".join(header)]
     for rec in intervals:
         row = [str(rec.get("index", "")), str(rec.get("t0_ps", "")),
-               str(rec.get("t1_ps", "")), str(int(bool(rec.get("reset"))))]
+               str(rec.get("t1_ps", "")), str(int(bool(rec.get("reset")))),
+               str(int(bool(rec.get("partial"))))]
         deltas = rec.get("deltas", {})
         derived = rec.get("derived", {})
         gauges = rec.get("gauges", {})

@@ -166,6 +166,26 @@ def _obs_key_extra(cache_key_extra: tuple, probe_rate: int,
     return cache_key_extra
 
 
+#: sampled-mode defaults, applied identically by :func:`simulate` (to the
+#: run) and :func:`_sampled_key_extra` (to the cache key) so a default
+#: change can never let an old cache entry answer for a new default
+SAMPLED_WINDOW = 800
+SAMPLED_PERIOD = 6000
+
+
+def _sampled_key_extra(cache_key_extra: tuple, mode: str, window: int,
+                       period: int, warming: str) -> tuple:
+    """Fold the sampled-mode settings into the cache discriminator: a
+    sampled run's payload is a statistical estimate (with its own
+    ``extras["sampling"]`` document), so it must never answer for — or be
+    answered by — a detailed run of the same point.  Window/period fold
+    at their *effective* (default-resolved) values."""
+    if mode == "detailed":
+        return cache_key_extra
+    return cache_key_extra + (("sampled", mode, window or SAMPLED_WINDOW,
+                               period or SAMPLED_PERIOD, warming),)
+
+
 def build_system(
     config: ChipConfig,
     workload_factory: Callable[[ChipConfig, int], object],
@@ -275,6 +295,10 @@ def simulate(
     probe_rate: int = 0,
     sample_interval_ps: int = 0,
     warmup: bool = False,
+    mode: str = "detailed",
+    window: int = 0,
+    period: int = 0,
+    warming: str = "functional",
 ) -> RunResult:
     """Run one simulation point, uncached.
 
@@ -305,8 +329,70 @@ def simulate(
     points, ``--resume``, parallel workers — skips the warm-up.  The
     measurement payload is byte-identical either way (tested), so the
     flag is deliberately *not* part of any result-cache key.
+
+    ``mode="sampled"`` switches to SMARTS-style sampled simulation
+    (:mod:`repro.fastforward`): the machine fast-forwards through
+    functional warming and runs only short detailed measurement windows
+    (``window`` items per CPU) every ``period`` items, handing off
+    between regimes through the checkpoint subsystem.  The result's
+    totals are extrapolated estimates and ``extras["sampling"]`` carries
+    per-metric-class 95% confidence intervals.  ``warmup=True`` composes
+    with sampled mode through the same warm store (under a variant key —
+    sampled snapshots park their CPUs at the boundary, so they never
+    answer a detailed ``warmup=True`` run or vice versa): the first
+    sampled run pays the functional warm-up and persists the boundary
+    snapshot; every later sampled run of the point restores it and pays
+    only the measurement windows, which is where the large sampled
+    speedups live.
     """
     wall0 = time.time()
+    if mode == "sampled":
+        from ..fastforward import SampledRun
+
+        skip_warm = False
+        on_warm = None
+        system = None
+        if warmup:
+            from ..checkpoint import (WARM_STORE, build_manifest,
+                                      restore_system, snapshot_bytes,
+                                      warm_key)
+            from .cache import library_fingerprint
+
+            key = warm_key(config, workload_factory, num_nodes, units_attr,
+                           check_coherence, trace_capacity, probe_rate,
+                           sample_interval_ps, variant="sampled-" + warming)
+            hit = WARM_STORE.get(key)
+            if hit is not None:
+                _manifest, payload = hit
+                system = restore_system(payload)
+                workload = system.workload
+                skip_warm = True
+            elif key is not None:
+                def on_warm(sys_, _key=key):
+                    payload = snapshot_bytes(sys_)
+                    WARM_STORE.put(_key, build_manifest(
+                        payload,
+                        fingerprint=library_fingerprint(),
+                        config_digest=config_digest(config),
+                        workload=workload_token(workload_factory),
+                        nodes=sys_.num_nodes,
+                        sim_now=sys_.sim.now,
+                    ), payload)
+        if system is None:
+            system, workload = build_system(
+                config, workload_factory, num_nodes, check_coherence,
+                trace_capacity, probe_rate, sample_interval_ps)
+        # handoff="none": batch measurement needs no in-memory window
+        # captures (those serve the gate / CLI inspection paths); the
+        # persistent warm-boundary snapshot above is unaffected
+        run = SampledRun(system, window=window or SAMPLED_WINDOW,
+                         period=period or SAMPLED_PERIOD, warming=warming,
+                         handoff="none", skip_warm=skip_warm, on_warm=on_warm)
+        run.run()
+        return run.to_result(config, num_nodes, units_attr, probe_rate,
+                             sample_interval_ps, time.time() - wall0)
+    if mode != "detailed":
+        raise ValueError(f"unknown simulation mode {mode!r}")
     if warmup:
         from ..checkpoint import (WARM_STORE, WarmCapture, build_manifest,
                                   restore_system, warm_key)
@@ -427,13 +513,21 @@ def run_configured(
     probe_rate: int = 0,
     sample_interval_ps: int = 0,
     warmup: bool = False,
+    mode: str = "detailed",
+    window: int = 0,
+    period: int = 0,
+    warming: str = "functional",
 ) -> RunResult:
     """Simulate one explicit configuration, with two-level caching.
 
     ``warmup`` is execution strategy, not measurement identity: it feeds
     :func:`simulate` but stays out of the cache keys, because the warm
-    and cold paths produce byte-identical results.
+    and cold paths produce byte-identical results.  The sampled-mode
+    settings *are* measurement identity (the payload is an estimate), so
+    they fold into the cache keys via :func:`_sampled_key_extra`.
     """
+    cache_key_extra = _sampled_key_extra(cache_key_extra, mode, window,
+                                         period, warming)
     cached = cached_result(config, workload_factory, num_nodes, units_attr,
                            check_coherence, cache_key_extra, trace_capacity,
                            probe_rate, sample_interval_ps)
@@ -441,7 +535,8 @@ def run_configured(
         return cached
     result = simulate(config, workload_factory, num_nodes, units_attr,
                       check_coherence, trace_capacity, probe_rate,
-                      sample_interval_ps, warmup=warmup)
+                      sample_interval_ps, warmup=warmup, mode=mode,
+                      window=window, period=period, warming=warming)
     store_result(result, config, workload_factory, num_nodes, units_attr,
                  check_coherence, cache_key_extra, trace_capacity,
                  probe_rate, sample_interval_ps)
@@ -459,6 +554,10 @@ def run_workload(
     probe_rate: int = 0,
     sample_interval_ps: int = 0,
     warmup: bool = False,
+    mode: str = "detailed",
+    window: int = 0,
+    period: int = 0,
+    warming: str = "functional",
 ) -> RunResult:
     """Simulate one preset configuration under one workload.
 
@@ -470,5 +569,6 @@ def run_workload(
         units_attr=units_attr, check_coherence=check_coherence,
         cache_key_extra=cache_key_extra, trace_capacity=trace_capacity,
         probe_rate=probe_rate, sample_interval_ps=sample_interval_ps,
-        warmup=warmup,
+        warmup=warmup, mode=mode, window=window, period=period,
+        warming=warming,
     )

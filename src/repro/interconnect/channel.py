@@ -131,6 +131,13 @@ class BitSerialChannel:
         payload, crc_word = data16s[:-1], data16s[-1]
         if flows[-1] != FLOW_CRC or crc16_words(payload) != crc_word:
             return None
+        # The CRC covers only the 16 data bits of each word; the 2-bit
+        # flow field rides outside it.  A corrupted-but-balanced codeword
+        # that alters a flow field while preserving its data bits passes
+        # the CRC, so the flow fields need their own validation: every
+        # payload word of a frame must carry FLOW_DATA.
+        if any(f != FLOW_DATA for f in flows[:-1]):
+            return None
         return payload, flows[:-1]
 
     # -- public API ------------------------------------------------------
@@ -138,7 +145,7 @@ class BitSerialChannel:
     def transfer(self, pkt: Packet) -> Packet:
         """Move a packet across the channel, retrying on detected errors."""
         words, flow = self._frame(pkt)
-        for _attempt in range(self.max_retries + 1):
+        for attempt in range(self.max_retries + 1):
             self.log.attempts += 1
             wire = self._transmit_words(words, flow)
             self.log.wire_words = wire
@@ -146,7 +153,12 @@ class BitSerialChannel:
             if result is not None:
                 payload, _flows = result
                 return words_to_packet(payload)
-            self.log.retries += 1
+            # A retry is a retransmission that actually happens: the
+            # final failed attempt is followed by giving up, not by
+            # another send, so it must not be counted (max_retries=0
+            # used to report retries=1 on a lost frame).
+            if attempt < self.max_retries:
+                self.log.retries += 1
         raise ChannelError(
             f"frame lost after {self.max_retries} retries "
             f"(error_rate={self.error_rate})"

@@ -266,6 +266,27 @@ class Simulator:
         self._queue = []
         self._dead = 0
 
+    def advance_to(self, time_ps: int) -> None:
+        """Jump the clock to *time_ps* without firing anything.
+
+        Statistical fast-forward phases advance machine state outside the
+        event queue and then use this to move simulated time by their
+        estimate.  Jumping over pending work would make those events fire
+        in their own past, so any live event earlier than the target must
+        be drained (``run()``) or cancelled first; this raises otherwise.
+        """
+        if time_ps < self.now:
+            raise ValueError(
+                f"cannot advance into the past (t={time_ps}, now={self.now})"
+            )
+        for entry in self._queue:
+            if not entry[2].cancelled and entry[0] < time_ps:
+                raise RuntimeError(
+                    f"cannot fast-forward to {time_ps} ps past a pending "
+                    f"event at {entry[0]} ps; drain the queue first"
+                )
+        self.now = time_ps
+
     # -- checkpoint/restore ----------------------------------------------
 
     def state_dict(self) -> dict:

@@ -91,9 +91,11 @@ class IntervalSampler:
 
         Call :meth:`flush` before the zeroing and this after: the
         baseline restarts at the reset instant and the next interval —
-        the one beginning at the reset — carries the ``reset`` flag.
-        The series itself is never discarded (warm-up detection needs
-        the ramp).
+        the one beginning at the reset — carries the ``reset`` flag
+        (and, when the reset landed mid-interval, the ``partial`` flag,
+        so its deltas are never attributed to a full period).  The
+        series itself is never discarded (warm-up detection needs the
+        ramp).
         """
         if not self._started:
             return
@@ -112,23 +114,39 @@ class IntervalSampler:
     # -- internals -------------------------------------------------------
 
     def _record(self, now_ps: int) -> None:
+        dt = now_ps - self._prev_time
+        if dt <= 0:
+            # A tick (or flush/finalize race) landing exactly on the
+            # previous anchor — e.g. a sampling-window boundary at a
+            # snapshot/reset timestamp — must not emit a zero-width
+            # record: downstream rate computations would divide by a
+            # zero interval, and a pending ``reset`` flag would be
+            # consumed by an interval no time ever passed through.
+            # Skip without re-baselining so the flag survives to the
+            # first real interval.
+            return
         cur = dict(self._collect())
         prev = self._prev or {}
         deltas = {
             key: max(0.0, value - prev.get(key, 0.0))
             for key, value in cur.items()
         }
-        dt = now_ps - self._prev_time
         record: Dict[str, object] = {
             "index": len(self.intervals),
             "t0_ps": self._prev_time,
             "t1_ps": now_ps,
             "reset": self._reset_pending,
+            # Intervals whose width differs from the period (the flush
+            # before a module-stats reset, the re-baselined interval
+            # after it, the final finalize() tail) carry a ``partial``
+            # marker so consumers never attribute their deltas to a
+            # full period.
+            "partial": dt != self.interval_ps,
             "deltas": deltas,
         }
         if self._gauges is not None:
             record["gauges"] = dict(self._gauges())
-        if self._derive is not None and dt > 0:
+        if self._derive is not None:
             record["derived"] = dict(self._derive(deltas, dt))
         self.intervals.append(record)
         self._prev = cur

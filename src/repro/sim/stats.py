@@ -103,10 +103,14 @@ class Histogram:
 
     def percentile(self, q: float) -> float:
         """Upper bound on the q-quantile (``0 <= q <= 1``): the smallest
-        bin edge with cumulative sample fraction >= *q*.  Returns
-        ``float("inf")`` when the quantile falls in the overflow bin and
-        ``0.0`` when the histogram is empty — callers exporting JSON
-        should map non-finite values themselves."""
+        bin edge whose cumulative sample count is non-zero and whose
+        cumulative fraction is >= *q*.  The non-zero requirement matters
+        for ``q == 0``: ``need`` is 0, which every bin trivially
+        satisfies, so without it p0 would report the first edge even
+        when every sample sits in a higher (or the overflow) bin.
+        Returns ``float("inf")`` when the quantile falls in the overflow
+        bin and ``0.0`` when the histogram is empty — callers exporting
+        JSON should map non-finite values themselves."""
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q!r}")
         if self.samples == 0:
@@ -115,7 +119,7 @@ class Histogram:
         cum = 0
         for i, edge in enumerate(self.edges):
             cum += self.bins[i]
-            if cum >= need:
+            if cum >= need and cum > 0:
                 return edge
         return float("inf")
 

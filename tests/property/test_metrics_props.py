@@ -94,9 +94,9 @@ def minimal_doc():
             "interval_ps": 100, "count": 2,
             "intervals": [
                 {"index": 0, "t0_ps": 0, "t1_ps": 100, "reset": False,
-                 "deltas": {}},
+                 "partial": False, "deltas": {}},
                 {"index": 1, "t0_ps": 100, "t1_ps": 200, "reset": False,
-                 "deltas": {}},
+                 "partial": False, "deltas": {}},
             ],
         },
         "counters": [],
@@ -152,8 +152,10 @@ CORRUPTIONS = [
     _set([0, 1], "probes", "classes", "l2_hit", "histogram", "bins"),
     _del("timeseries", "interval_ps"),
     _del("timeseries", "intervals", 1, "deltas"),
-    # interval running backwards
+    _del("timeseries", "intervals", 0, "partial"),
+    # interval running backwards (and zero-width: both non-positive)
     _set(40, "timeseries", "intervals", 1, "t1_ps"),
+    _set(100, "timeseries", "intervals", 1, "t1_ps"),
 ]
 
 

@@ -220,6 +220,78 @@ class TestIntervalSampler:
         assert all("rate" in r["derived"] for r in recs if
                    r["t1_ps"] > r["t0_ps"])
 
+    def test_tick_at_reset_anchor_emits_no_zero_width_record(self, sim):
+        """A periodic tick landing exactly on a ``note_reset`` anchor (a
+        sampling-window boundary at a snapshot/reset timestamp) must not
+        emit a zero-width record, divide by a zero interval, or consume
+        the pending reset flag."""
+        import math
+
+        counters = {"x": 0}
+        sampler = IntervalSampler(sim, 100, lambda: dict(counters),
+                                  derive=lambda d, dt: {"rate": d["x"] / dt})
+
+        def reset_at_tick_time():
+            counters["x"] += 7
+            sampler.flush()
+            sampler.note_reset()
+
+        # scheduled before start() => fires before the t=100 tick (FIFO
+        # within a timestamp), leaving the tick a zero-width window
+        sim.schedule(100, reset_at_tick_time)
+        sampler.start()
+
+        def bump():
+            counters["x"] += 3
+
+        sim.schedule(150, bump)
+        sim.run(until_ps=200)
+        sampler.finalize()
+        recs = sampler.intervals
+        assert all(r["t1_ps"] > r["t0_ps"] for r in recs)
+        assert all(math.isfinite(r["derived"]["rate"]) for r in recs)
+        # the flush at the reset instant closed [0, 100]; the zero-width
+        # tick was skipped without consuming the reset flag, which lands
+        # on the first real post-reset interval
+        assert (recs[0]["t0_ps"], recs[0]["t1_ps"]) == (0, 100)
+        assert not recs[0]["reset"]
+        flagged = [r for r in recs if r["reset"]]
+        assert len(flagged) == 1
+        assert flagged[0]["t0_ps"] == 100
+        assert flagged[0]["deltas"]["x"] == 3
+
+    def test_partial_interval_marking(self, sim):
+        """Intervals whose width differs from the period — the flush
+        before a mid-interval reset, the re-baselined interval after it,
+        and the finalize() tail — carry ``partial``; full-period
+        intervals do not."""
+        counters = {"x": 0}
+        sampler = IntervalSampler(sim, 100, lambda: dict(counters))
+        sampler.start()
+
+        def bump():
+            counters["x"] += 1
+            sim.schedule(30, bump)
+
+        def mid_reset():
+            sampler.flush()
+            sampler.note_reset()
+
+        sim.schedule(30, bump)
+        sim.schedule(250, mid_reset)
+        sim.run(until_ps=430)
+        sampler.finalize()
+        shape = [(r["t0_ps"], r["t1_ps"], r["reset"], r["partial"])
+                 for r in sampler.intervals]
+        assert shape == [
+            (0, 100, False, False),
+            (100, 200, False, False),
+            (200, 250, False, True),    # flush before the reset
+            (250, 300, True, True),     # re-baselined post-reset interval
+            (300, 400, False, False),
+            (400, 430, False, True),    # finalize() tail
+        ]
+
     def test_interval_must_be_positive(self, sim):
         with pytest.raises(ValueError):
             IntervalSampler(sim, 0, dict)
@@ -260,6 +332,46 @@ class TestIntervalSampler:
         cpu_instr = sum(cpu.instructions for cpu in system.all_cpus())
         assert 0 < series_instr <= cpu_instr
         assert series_instr >= 0.9 * cpu_instr
+
+
+class TestSamplerCheckpointRestore:
+    def _build(self, interval_ps=20_000_000):
+        cfg = preset("P2")
+        system = PiranhaSystem(cfg, num_nodes=1)
+        system.enable_sampler(interval_ps)
+        system.attach_workload(OltpWorkload(TINY_OLTP,
+                                            cpus_per_node=cfg.cpus,
+                                            num_nodes=1))
+        return system
+
+    def test_restore_mid_interval_no_double_count(self):
+        """Snapshot taken mid-interval (between events), restored, run to
+        completion: the interval series must be byte-identical to the
+        uninterrupted run — no interval double-counted, dropped, or
+        re-attributed across the restore."""
+        from repro.checkpoint import restore_system, snapshot_bytes
+
+        base = self._build()
+        base.run_to_completion()
+        baseline = base.sampler.as_dict()
+        assert baseline["count"] >= 2
+
+        system = self._build()
+        system.start()
+        # stop mid-interval, between events (run() parks now at until_ps)
+        system.sim.run(until_ps=30_000_000)
+        assert system.sim.now == 30_000_000
+        payload = snapshot_bytes(system)
+        restored = restore_system(payload)
+        restored.run_to_completion()
+        assert restored.sampler.as_dict() == baseline
+        # the interval containing the warm-up reset is re-baselined
+        # mid-interval, so it must be flagged partial (the
+        # double-counting fix: its deltas span less than one period)
+        flagged = [r for r in baseline["intervals"] if r["reset"]]
+        assert len(flagged) == 1
+        if flagged[0]["t1_ps"] - flagged[0]["t0_ps"] != 20_000_000:
+            assert flagged[0]["partial"]
 
 
 class TestMetricsExport:

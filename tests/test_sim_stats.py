@@ -180,10 +180,40 @@ class TestHistogramPercentile:
         h.add(99)
         assert h.percentile(0.5) == float("inf")
 
-    def test_percentile_zero_is_smallest_edge(self):
+    def test_percentile_zero_is_first_nonempty_edge(self):
+        # The only sample sits in [10, 20), so p0 is that bin's upper
+        # edge — not edges[0], which a need=0 cumulative check would
+        # trivially satisfy at the (empty) underflow bin.
         h = Histogram("h", [10, 20])
         h.add(15)
+        assert h.percentile(0.0) == 20
+
+    def test_percentile_zero_underflow_sample(self):
+        h = Histogram("h", [10, 20])
+        h.add(5)
         assert h.percentile(0.0) == 10
+
+    def test_percentile_zero_skips_empty_leading_bins(self):
+        h = Histogram("h", [10, 20, 30])
+        h.add(25)
+        h.add(27)
+        assert h.percentile(0.0) == 30
+
+    def test_percentile_all_overflow(self):
+        # Every sample above the last edge: every quantile, including
+        # p0 and p100, falls in the overflow bin.
+        h = Histogram("h", [10, 20])
+        h.add(99)
+        h.add(120)
+        assert h.percentile(0.0) == float("inf")
+        assert h.percentile(0.5) == float("inf")
+        assert h.percentile(1.0) == float("inf")
+
+    def test_percentile_p100_last_nonempty_edge(self):
+        h = Histogram("h", [10, 20, 30])
+        h.add(5)
+        h.add(15)
+        assert h.percentile(1.0) == 20
 
     def test_percentile_out_of_range_rejected(self):
         h = Histogram("h", [10])
