@@ -169,10 +169,12 @@ def bench_observability(scale: float, probe_rate: int = 64,
                         sample_us: float = 50.0) -> dict:
     """Wall-clock cost of the observability layer on one P8 OLTP run.
 
-    Three passes over the identical workload: instrumentation off (the
+    Five passes over the identical workload: instrumentation off (the
     baseline the ``<= 2%`` disabled-path budget is judged against),
-    probes+sampler at the default CI settings, and probes at rate 1
-    (every miss tagged — the worst case)."""
+    probes+sampler at the default CI settings, probes at rate 1 (every
+    miss tagged — the worst case), the causal span tracer on top of the
+    default probes, and the host self-profiler at its default 1/16
+    sampling rate (the ``<= 5%`` enabled-path budget)."""
     from repro.core import PiranhaSystem, preset
     from repro.workloads import OltpParams, OltpWorkload
 
@@ -180,11 +182,18 @@ def bench_observability(scale: float, probe_rate: int = 64,
     op = replace(op, transactions=max(20, int(op.transactions * scale)),
                  warmup_transactions=max(40, int(op.warmup_transactions * scale)))
 
-    def run(rate: int, interval_us: float) -> dict:
+    def run(rate: int, interval_us: float, spans: int = 0,
+            profile: int = 0) -> dict:
         system = PiranhaSystem(preset("P8"), num_nodes=1)
         system.attach_workload(OltpWorkload(op, cpus_per_node=8))
         if rate:
             system.enable_probes(rate)
+        if spans:
+            system.enable_span_trace(spans)
+        if profile:
+            from repro.observe import HostProfiler
+
+            system.sim.profiler = HostProfiler(profile)
         if interval_us:
             system.enable_sampler(int(interval_us * 1e6))
         t0 = time.perf_counter()
@@ -194,21 +203,32 @@ def bench_observability(scale: float, probe_rate: int = 64,
                "events": system.sim.events_fired}
         if system.probes is not None:
             rec["probes_completed"] = system.probes.completed
+        if system.spans is not None:
+            rec["spans_kept"] = len(system.spans.txns)
+        if system.sim.profiler is not None:
+            rec["profile_sampled"] = system.sim.profiler.events_sampled
         return rec
+
+    def pct(rec: dict) -> float:
+        return round((rec["wall_s"] / base["wall_s"] - 1) * 100, 2)
 
     base = run(0, 0)
     probed = run(probe_rate, sample_us)
     full = run(1, sample_us)
+    traced = run(probe_rate, sample_us, spans=256)
+    profiled = run(0, 0, profile=16)
     return {
         "probe_rate": probe_rate,
         "sample_interval_us": sample_us,
         "disabled": base,
         "probed": probed,
         "probe_every_miss": full,
-        "overhead_probed_pct": round(
-            (probed["wall_s"] / base["wall_s"] - 1) * 100, 2),
-        "overhead_every_miss_pct": round(
-            (full["wall_s"] / base["wall_s"] - 1) * 100, 2),
+        "span_traced": traced,
+        "host_profiled": profiled,
+        "overhead_probed_pct": pct(probed),
+        "overhead_every_miss_pct": pct(full),
+        "overhead_traced_pct": pct(traced),
+        "overhead_profiled_pct": pct(profiled),
     }
 
 
@@ -469,7 +489,11 @@ def run_observability(args) -> int:
           f"probed(1/{obs['probe_rate']}) {obs['probed']['wall_s']}s "
           f"({obs['overhead_probed_pct']:+.1f}%), "
           f"every-miss {obs['probe_every_miss']['wall_s']}s "
-          f"({obs['overhead_every_miss_pct']:+.1f}%)")
+          f"({obs['overhead_every_miss_pct']:+.1f}%), "
+          f"spans {obs['span_traced']['wall_s']}s "
+          f"({obs['overhead_traced_pct']:+.1f}%), "
+          f"profiler(1/16) {obs['host_profiled']['wall_s']}s "
+          f"({obs['overhead_profiled_pct']:+.1f}%)")
     record = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "scale": args.scale,

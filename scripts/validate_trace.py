@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Validate an emitted span-trace document (CI trace-smoke gate).
+
+Checks three things about a ``repro run --trace-spans --trace-out
+trace.json`` file:
+
+1. **Schema**: the document passes
+   :func:`repro.observe.validate_trace` (versioned schema id, required
+   blocks, and the causal invariants — within each transaction the
+   child spans are contiguous, cover exactly [t0, t1], and their
+   durations sum to ``latency_ps``).
+2. **Coverage**: enough transactions were kept, every retained
+   transaction carries at least the issue->fill pair of spans, and the
+   expected transaction classes appear.
+3. **Perfetto-loadability**: the ``traceEvents`` array is well-formed
+   Chrome trace-event JSON — metadata rows name every track, every
+   complete ("X") event has non-negative ``ts``/``dur``, and each
+   span event lands on a declared track tid.
+
+Usage::
+
+    PYTHONPATH=src python scripts/validate_trace.py trace.json
+    PYTHONPATH=src python scripts/validate_trace.py trace.json \
+        --min-txns 16 --expect-class l2_hit --expect-class local_mem
+
+Exits non-zero (with a list of problems) on any failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+
+def check(doc: dict, min_txns: int, expect_classes: list) -> list:
+    from repro.observe import validate_trace
+    from repro.observe.spans import TRACKS
+
+    problems = list(validate_trace(doc))
+
+    txns = doc.get("txns") or []
+    if len(txns) < min_txns:
+        problems.append(
+            f"only {len(txns)} transactions kept (need >= {min_txns}); "
+            f"raise --trace-spans or the workload size")
+    seen_classes = {t.get("class") for t in txns if isinstance(t, dict)}
+    for cls in expect_classes:
+        if cls not in seen_classes:
+            problems.append(
+                f"expected transaction class {cls!r} absent from the "
+                f"trace (saw: {sorted(c for c in seen_classes if c)})")
+
+    events = doc.get("traceEvents") or []
+    tids = {i for i, _ in enumerate(TRACKS)}
+    named = set()
+    n_x = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            continue
+        ph = ev.get("ph")
+        if ph == "M" and ev.get("name") == "thread_name":
+            named.add(ev.get("args", {}).get("name"))
+        elif ph == "X":
+            n_x += 1
+            if ev.get("ts", -1) < 0 or ev.get("dur", -1) < 0:
+                problems.append(
+                    f"traceEvents[{i}]: negative ts/dur "
+                    f"({ev.get('ts')}, {ev.get('dur')})")
+            if ev.get("tid") not in tids:
+                problems.append(
+                    f"traceEvents[{i}]: tid {ev.get('tid')!r} names no "
+                    f"declared track")
+    missing = set(TRACKS) - named
+    if events and missing:
+        problems.append(f"track rows never named in metadata: "
+                        f"{sorted(missing)}")
+    n_spans = sum(len(t.get("spans") or []) for t in txns
+                  if isinstance(t, dict))
+    if events and n_x != len(txns) + n_spans:
+        problems.append(
+            f"traceEvents carries {n_x} 'X' events, expected "
+            f"{len(txns)} roots + {n_spans} spans")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", help="trace JSON file to validate")
+    parser.add_argument("--min-txns", type=int, default=16,
+                        help="minimum kept transactions (default 16)")
+    parser.add_argument("--expect-class", action="append", default=[],
+                        metavar="CLASS",
+                        help="require this transaction class to appear "
+                             "(repeatable)")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+
+    problems = check(doc, args.min_txns, args.expect_class)
+    if problems:
+        print(f"{args.path}: {len(problems)} problem(s):", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+
+    txns = doc.get("txns") or []
+    classes = sorted({t["class"] for t in txns})
+    print(f"{args.path}: OK — schema {doc['schema']}, "
+          f"{len(txns)} transactions ({', '.join(classes)}), "
+          f"{len(doc.get('traceEvents') or [])} trace events "
+          f"across {doc.get('num_nodes')} node(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,11 @@ Runs one workload on one configuration and prints the standard report::
     python -m repro run --workload oltp --metrics out.json \
         --probe-rate 64 --sample-interval 50
     python -m repro report --workload oltp --json
+    python -m repro run --workload oltp --scale 0.25 --trace-spans \
+        --trace-out trace.json          # open trace.json in Perfetto
+    python -m repro profile --workload oltp --scale 0.25
+    python -m repro run --workload oltp --telemetry live.jsonl &
+    python -m repro watch live.jsonl --follow
     python -m repro sweep --config P8 --workload oltp \
         --field l2.size_bytes --values 512K,1M,2M --jobs 4
     python -m repro sweep ... --warmup --resume
@@ -96,11 +101,89 @@ def _build_checked_system(args: argparse.Namespace):
         # the rates that actually ran
         args.probe_rate = probe_rate
         args.sample_interval = sample_us
+    trace_spans = getattr(args, "trace_spans", 0) or 0
+    if trace_spans and not probe_rate:
+        # the span tracer consumes probe completions
+        probe_rate = 64
+        args.probe_rate = probe_rate
+    if getattr(args, "telemetry", None) and not sample_us:
+        # a heartbeat stream with nothing to beat is useless
+        sample_us = 50.0
+        args.sample_interval = sample_us
     if probe_rate:
         system.enable_probes(probe_rate)
+    if trace_spans:
+        system.enable_span_trace(trace_spans)
     if sample_us:
         system.enable_sampler(int(sample_us * 1e6))
+    prof_rate = getattr(args, "profile", 0) or 0
+    if prof_rate:
+        from .observe import HostProfiler
+
+        system.sim.profiler = HostProfiler(prof_rate)
     return config, system, checker
+
+
+def _open_cli_telemetry(args: argparse.Namespace, system, config,
+                        mode: str = "detailed"):
+    """Open the ``--telemetry`` stream (or return None), emit the
+    ``run_start`` banner, and hook the interval sampler."""
+    path = getattr(args, "telemetry", None)
+    if not path:
+        return None
+    from .observe import TelemetryStream
+
+    stream = TelemetryStream(path)
+    stream.emit("run_start", config=config.name, workload=args.workload,
+                num_nodes=args.nodes, mode=mode,
+                probe_rate=getattr(args, "probe_rate", 0) or 0,
+                trace_spans=getattr(args, "trace_spans", 0) or 0,
+                profile=getattr(args, "profile", 0) or 0)
+    if system.sampler is not None:
+        system.sampler.on_record = stream.on_interval
+    print(f"telemetry streaming to {path} "
+          f"(follow with: python -m repro watch {path})")
+    return stream
+
+
+def _finish_flightdeck(args: argparse.Namespace, system, config,
+                       stream, result=None) -> None:
+    """Post-run flight-deck outputs: write the ``repro-trace/1`` file,
+    print the host-profile summary, close the telemetry stream."""
+    trace_spans = getattr(args, "trace_spans", 0) or 0
+    if trace_spans and system.spans is not None:
+        from .observe import trace_doc, validate_trace, write_trace
+
+        protocol_events = None
+        if system.checker is not None and system.checker.trace is not None:
+            protocol_events = system.checker.trace.events()
+        doc = trace_doc(system.spans, config.name, system.num_nodes,
+                        getattr(args, "probe_rate", 0) or 0, protocol_events)
+        problems = validate_trace(doc)
+        out = getattr(args, "trace_out", None) or "repro-trace.json"
+        write_trace(out, doc)
+        print(f"span trace written to {out}: {doc['kept']} transactions, "
+              f"{len(doc['traceEvents'])} events "
+              f"(open at https://ui.perfetto.dev)")
+        if problems:  # defensive: the tracer's invariants should hold
+            print(f"WARNING: trace failed validation: {problems[0]}",
+                  file=sys.stderr)
+    profiler = system.sim.profiler
+    if profiler is not None and profiler.events_sampled:
+        print()
+        print(profiler.render(limit=10))
+    if stream is not None:
+        if result is not None:
+            stream.emit("run_end", config=result.config,
+                        workload=result.workload, items=result.units,
+                        sim_wall_s=result.sim_wall_s, cached=False)
+        else:
+            summary = system.execution_summary()
+            stream.emit("run_end", config=config.name,
+                        workload=args.workload,
+                        items=int(summary["instructions"]),
+                        sim_wall_s=0.0, cached=False)
+        stream.close()
 
 
 def _emit_metrics(system, args, path: str) -> None:
@@ -162,9 +245,10 @@ def _run_sampled_cli(args: argparse.Namespace, config, system) -> int:
     print(f"sampled simulation of {args.workload} on {args.nodes} x "
           f"{config.name}: window={window} period={period} "
           f"warming={args.warming}")
+    stream = _open_cli_telemetry(args, system, config, mode="sampled")
     t0 = time.time()
     run = SampledRun(system, window=window, period=period,
-                     warming=args.warming)
+                     warming=args.warming, telemetry=stream)
     run.run()
     result = run.to_result(config, args.nodes,
                            UNITS_ATTR.get(args.workload, "transactions"),
@@ -186,6 +270,7 @@ def _run_sampled_cli(args: argparse.Namespace, config, system) -> int:
             print(f"  {name:<14} {stats['mean']:.4f} +/- {stats['ci95']:.4f} "
                   f"({stats['rel_err']:.1%})")
     print(f"\nwall time      : {result.sim_wall_s:.2f} s")
+    _finish_flightdeck(args, run.system, config, stream, result=result)
     return 0
 
 
@@ -194,12 +279,18 @@ def cmd_run(args: argparse.Namespace) -> int:
     config, system, checker = _build_checked_system(args)
     if getattr(args, "sampled", False):
         return _run_sampled_cli(args, config, system)
+    stream = _open_cli_telemetry(args, system, config)
     checkpointer = None
     every_us = getattr(args, "checkpoint_every", 0) or 0
     if every_us:
         from .checkpoint import PeriodicCheckpointer
 
-        checkpointer = PeriodicCheckpointer(system, int(every_us * 1e6))
+        on_capture = None
+        if stream is not None:
+            def on_capture(now_ps, nbytes, _s=stream):
+                _s.emit("checkpoint", time_ps=now_ps, bytes=nbytes)
+        checkpointer = PeriodicCheckpointer(system, int(every_us * 1e6),
+                                            on_capture=on_capture)
         checkpointer.start()
     print(f"simulating {args.workload} on {args.nodes} x {config.name} "
           f"({config.cpus * args.nodes} CPUs) ...")
@@ -241,11 +332,55 @@ def cmd_run(args: argparse.Namespace) -> int:
               f"{probes['completed']} completed — " + ", ".join(parts))
     if getattr(args, "metrics", None):
         _emit_metrics(system, args, args.metrics)
+    _finish_flightdeck(args, system, config, stream)
     if args.report:
         from .harness.perfmon import render_report, system_report
 
         print()
         print(render_report(system_report(system, now_ps=system.sim.now)))
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """``profile``: run one workload with the host self-profiler and
+    print the ranked (component, event-class) wall-clock hot spots —
+    where the *simulator* spends its time, not the simulated machine."""
+    args.profile = args.sample_rate
+    config, system, _checker = _build_checked_system(args)
+    print(f"profiling {args.workload} on {args.nodes} x {config.name} "
+          f"(sampling 1/{args.sample_rate} events) ...", file=sys.stderr)
+    system.run_to_completion()
+    profiler = system.sim.profiler
+    if args.json:
+        import json
+
+        print(json.dumps(profiler.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(profiler.render(limit=args.limit))
+    return 0
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    """``watch``: tail a live telemetry stream (written by
+    ``run --telemetry PATH``), rendering records as they arrive."""
+    from .observe.telemetry import (follow_records, read_records,
+                                    render_record)
+
+    if args.follow:
+        saw_end = False
+        for record in follow_records(args.path, timeout_s=args.timeout):
+            print(render_record(record), flush=True)
+            saw_end = record.get("kind") == "run_end"
+        if not saw_end:
+            print(f"(no run_end after {args.timeout:.0f}s of silence; "
+                  f"writer gone?)", file=sys.stderr)
+        return 0
+    records = read_records(args.path)
+    if not records:
+        print(f"no telemetry records in {args.path}", file=sys.stderr)
+        return 1
+    for record in records[-args.last:]:
+        print(render_record(record))
     return 0
 
 
@@ -591,6 +726,25 @@ def main(argv=None) -> int:
                        metavar="US",
                        help="time-series sampling period in simulated "
                             "microseconds (0 = off)")
+    run_p.add_argument("--trace-spans", type=int, nargs="?", const=256,
+                       default=0, metavar="N",
+                       help="record causal span trees for up to N probed "
+                            "transactions (default 256) and write a "
+                            "Perfetto-loadable repro-trace/1 JSON; implies "
+                            "--probe-rate 64 unless given explicitly")
+    run_p.add_argument("--trace-out", metavar="PATH", default=None,
+                       help="span-trace output path (default "
+                            "repro-trace.json)")
+    run_p.add_argument("--profile", type=int, nargs="?", const=16,
+                       default=0, metavar="N",
+                       help="host self-profiler: sample 1 of every N "
+                            "dispatched events (default 16) and print the "
+                            "ranked wall-clock hot spots")
+    run_p.add_argument("--telemetry", metavar="PATH", default=None,
+                       help="stream live heartbeat/interval/checkpoint "
+                            "records (JSONL) here; follow with "
+                            "'repro watch PATH'; implies --sample-interval "
+                            "50 unless given explicitly")
     run_p.add_argument("--checkpoint-every", type=float, default=0,
                        metavar="US",
                        help="keep rolling machine snapshots every US "
@@ -633,6 +787,39 @@ def main(argv=None) -> int:
                           help="time-series sampling period in simulated "
                                "microseconds (0 = off)")
     report_p.set_defaults(fn=cmd_report)
+
+    profile_p = sub.add_parser(
+        "profile", help="run a workload under the host self-profiler and "
+                        "print the ranked wall-clock hot spots")
+    profile_p.add_argument("--config", default="P8", choices=sorted(PRESETS))
+    profile_p.add_argument("--workload", default="oltp",
+                           choices=sorted(WORKLOADS))
+    profile_p.add_argument("--nodes", type=int, default=1)
+    profile_p.add_argument("--scale", type=float, default=0.25,
+                           help="workload size multiplier")
+    profile_p.add_argument("--sample-rate", type=int, default=16, metavar="N",
+                           help="time 1 of every N dispatched events "
+                                "(default 16)")
+    profile_p.add_argument("--limit", type=int, default=20,
+                           help="rows to print (default 20)")
+    profile_p.add_argument("--json", action="store_true",
+                           help="emit the structured profile document "
+                                "instead of the table")
+    profile_p.set_defaults(fn=cmd_profile)
+
+    watch_p = sub.add_parser(
+        "watch", help="render a live-telemetry JSONL stream "
+                      "(from 'repro run --telemetry PATH')")
+    watch_p.add_argument("path", help="telemetry JSONL file to read")
+    watch_p.add_argument("--follow", action="store_true",
+                         help="tail the stream until run_end (or timeout)")
+    watch_p.add_argument("--timeout", type=float, default=30.0,
+                         help="give up after this many idle seconds "
+                              "in --follow mode (default 30)")
+    watch_p.add_argument("--last", type=int, default=20,
+                         help="without --follow: print the trailing N "
+                              "records (default 20)")
+    watch_p.set_defaults(fn=cmd_watch)
 
     trace_p = sub.add_parser(
         "trace", help="run a workload with the protocol trace and dump it")

@@ -191,7 +191,8 @@ class PeriodicCheckpointer:
       was ``None`` inside its own snapshot) and simply starts refilling.
     """
 
-    def __init__(self, system, every_ps: int, keep: int = 2) -> None:
+    def __init__(self, system, every_ps: int, keep: int = 2,
+                 on_capture=None) -> None:
         if every_ps <= 0:
             raise ValueError("checkpoint period must be positive")
         if keep < 1:
@@ -201,6 +202,11 @@ class PeriodicCheckpointer:
         self.keep = keep
         self.snapshots: Optional[deque] = deque(maxlen=keep)
         self.captures = 0
+        #: optional ``cb(sim_now_ps, payload_bytes_len)`` after each
+        #: capture — live telemetry hangs here.  Host-side observer: it
+        #: is *on* the checkpointer, which is never inside its own
+        #: snapshots, so payloads stay free of open stream handles.
+        self.on_capture = on_capture
 
     def start(self) -> None:
         """Arm the periodic ticker (call once, before the run)."""
@@ -217,7 +223,19 @@ class PeriodicCheckpointer:
                               else deque(maxlen=self.keep))
         self.snapshots.append((now, payload))
         self.captures += 1
+        cb = getattr(self, "on_capture", None)
+        if cb is not None:
+            cb(now, len(payload))
         return self.system._running_cpus > 0
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # The pending tick (a bound method in the pickled event queue)
+        # drags the checkpointer itself into every snapshot; strip the
+        # host-side capture hook so open telemetry handles never try to
+        # ride a snapshot.  (The buffer is already None during capture.)
+        state = dict(self.__dict__)
+        state["on_capture"] = None
+        return state
 
     def latest(self) -> Optional[Tuple[int, bytes]]:
         """Most recent ``(sim_now_ps, payload)``, or None."""

@@ -182,6 +182,10 @@ class ProbeCollector:
             raise ValueError(f"probe rate must be >= 1, got {rate}")
         self.rate = int(rate)
         self.max_samples = int(max_samples)
+        #: optional ``cb(probe, source, cls)`` invoked after each probe is
+        #: folded into the aggregates; the span tracer hangs here.  Runs
+        #: only for probed (1-in-rate) completions, never on the hot path.
+        self.on_finish = None
         self._tick = 0
         self.attached = 0
         self.completed = 0
@@ -242,6 +246,11 @@ class ProbeCollector:
                 "stamps": [[label, t] for label, t in probe.stamps],
                 "notes": dict(probe.notes),
             })
+        # getattr: collectors restored from pre-hook checkpoints lack the
+        # attribute entirely
+        cb = getattr(self, "on_finish", None)
+        if cb is not None:
+            cb(probe, source, cls)
 
     # -- checkpoint/restore ----------------------------------------------
 

@@ -75,6 +75,9 @@ class PiranhaSystem:
         self.probes = None
         #: interval time-series sampler (see :mod:`repro.sim.sampler`)
         self.sampler = None
+        #: causal span tracer (see :mod:`repro.observe.spans`); hangs off
+        #: the probe collector's ``on_finish`` hook
+        self.spans = None
         #: authoritative memory image: line -> committed version
         self.mem_versions: Dict[int, int] = {}
         self.dirstores: List[DirectoryStore] = [
@@ -178,6 +181,10 @@ class PiranhaSystem:
             # probe classes/histograms should cover steady state only,
             # matching the counter-derived means they cross-check against
             self.probes.reset()
+        if self.spans is not None:
+            # the trace likewise covers steady state only, so span
+            # durations reconcile with the post-reset probe histograms
+            self.spans.reset()
         if self.sampler is not None:
             # the time series deliberately keeps its pre-reset history
             # (warm-up detection needs the ramp); it just re-baselines
@@ -203,13 +210,22 @@ class PiranhaSystem:
         the event queue drains; returns the finish time (ps).  Restored
         systems must not be re-started — their CPU continuations, sampler
         ticks and audit ticks are already in the event queue."""
-        self.sim.run(max_events=max_events)
-        if self._running_cpus != 0:
-            raise RuntimeError(
-                f"simulation stalled with {self._running_cpus} CPUs running"
-            )
-        if self.sampler is not None:
-            self.sampler.finalize()
+        try:
+            self.sim.run(max_events=max_events)
+            if self._running_cpus != 0:
+                raise RuntimeError(
+                    f"simulation stalled with {self._running_cpus} CPUs "
+                    f"running"
+                )
+        finally:
+            # Flush the in-flight partial interval even when the run
+            # terminates early (max-events bound, stall): the exported
+            # series must never silently drop its tail.  The record
+            # carries the ``partial`` flag; finalize() is idempotent at
+            # a fixed simulated time, so a later resume still flushes
+            # whatever accumulates afterwards.
+            if self.sampler is not None:
+                self.sampler.finalize()
         return max(
             (cpu.finish_time or 0)
             for node in self.nodes for cpu in node.cpus
@@ -299,6 +315,20 @@ class PiranhaSystem:
         self.probes = ProbeCollector(rate, max_samples=max_samples)
         for node in self.nodes:
             node.probes = self.probes
+
+    def enable_span_trace(self, max_txns: int = 256) -> None:
+        """Attach a :class:`~repro.observe.spans.SpanCollector` that
+        promotes every completed probe into a causal span tree (up to
+        *max_txns* transactions kept).  Requires probes: the tracer is a
+        pure consumer of the probe collector's ``on_finish`` hook and
+        adds no stamp points of its own."""
+        from ..observe.spans import SpanCollector
+
+        if self.probes is None:
+            raise RuntimeError(
+                "span tracing needs probes; call enable_probes() first")
+        self.spans = SpanCollector(max_txns)
+        self.probes.on_finish = self.spans.on_probe_finish
 
     def enable_sampler(self, interval_ps: int) -> None:
         """Attach an :class:`~repro.sim.sampler.IntervalSampler` that

@@ -149,6 +149,11 @@ class SampledRun:
         callback invoked as ``on_warm(system)`` once the warm boundary
         is reached (event queue drained, CPUs parked) — the runner uses
         it to persist the warm state for later sampled runs.
+    telemetry:
+        optional :class:`~repro.observe.telemetry.TelemetryStream`; each
+        measurement window emits a ``window`` record with its running
+        per-class 95% CI half-widths (convergence visible live), and
+        each window-boundary handoff capture a ``checkpoint`` record.
     """
 
     def __init__(self, system, window: int, period: int,
@@ -158,7 +163,8 @@ class SampledRun:
                  ff_tail: Optional[int] = 1000,
                  window_warm: int = 0,
                  skip_warm: bool = False,
-                 on_warm=None) -> None:
+                 on_warm=None,
+                 telemetry=None) -> None:
         if window <= 0:
             raise ValueError("window must be a positive item count")
         if period < 0:
@@ -182,6 +188,7 @@ class SampledRun:
         self.window_warm = int(window_warm)
         self.skip_warm = bool(skip_warm)
         self.on_warm = on_warm
+        self.telemetry = telemetry
         self._handoff_mode = handoff
         self.handoff: Optional[WindowHandoff] = (
             None if handoff == "none"
@@ -355,6 +362,15 @@ class SampledRun:
             "mem_ps": mem,
             "miss": {k: mb1[k] - mb0.get(k, 0) for k in mb1},
         })
+        if self.telemetry is not None:
+            # running CI half-widths over the windows so far: a watcher
+            # sees convergence (or its absence) while the run is live
+            self.telemetry.emit(
+                "window", index=len(self.windows) - 1, items=items,
+                windows=len(self.windows),
+                ci={name: stats["rel_err"]
+                    for name, stats in self.error_bounds().items()
+                    if stats["n"] > 1})
 
     # -- fast-forward ------------------------------------------------------
 
@@ -398,6 +414,11 @@ class SampledRun:
                 self.system = self.handoff.handoff(self.system)
             elif self._handoff_mode == "capture":
                 self.handoff.capture(self.system)
+            if self.telemetry is not None and self.handoff is not None:
+                self.telemetry.emit(
+                    "checkpoint", time_ps=self.system.sim.now,
+                    captures=self.handoff.captures,
+                    bytes=self.handoff.bytes_total)
             if self.window_warm and self.windows:
                 # detailed warming ahead of the window proper: repairs
                 # staleness left by a skimmed fast-forward period

@@ -54,6 +54,16 @@ class Job:
     #: warm-up boundary); execution strategy only — never part of a cache
     #: key, results are byte-identical either way
     warmup: bool = False
+    #: causal span tracer: keep up to N transaction span trees in
+    #: ``extras["trace"]`` (0 disables); deterministic, so it folds into
+    #: the cache key and survives the ProcessPool round-trip like metrics
+    trace_spans: int = 0
+    #: host self-profiler 1-in-N event sampling rate (0 disables);
+    #: ``extras["host_profile"]`` comes back through the result pickle
+    profile: int = 0
+    #: telemetry stream target (a *path string* for parallel jobs —
+    #: open handles don't pickle); workers stream from their own process
+    telemetry: Optional[str] = None
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -81,7 +91,8 @@ def _execute(job: Job) -> RunResult:
     return simulate(job.config, job.factory, job.num_nodes, job.units_attr,
                     job.check_coherence, job.trace_capacity,
                     job.probe_rate, job.sample_interval_ps,
-                    warmup=job.warmup)
+                    warmup=job.warmup, trace_spans=job.trace_spans,
+                    profile=job.profile, telemetry=job.telemetry)
 
 
 def _run_serial(job: Job) -> RunResult:
@@ -92,7 +103,8 @@ def _run_serial(job: Job) -> RunResult:
         trace_capacity=job.trace_capacity,
         probe_rate=job.probe_rate,
         sample_interval_ps=job.sample_interval_ps,
-        warmup=job.warmup,
+        warmup=job.warmup, trace_spans=job.trace_spans,
+        profile=job.profile, telemetry=job.telemetry,
     )
 
 
@@ -134,7 +146,8 @@ def run_jobs(jobs_list: Sequence[Job], jobs: Optional[int] = None,
         cached = cached_result(
             job.config, job.factory, job.num_nodes, job.units_attr,
             job.check_coherence, job.cache_key_extra, job.trace_capacity,
-            job.probe_rate, job.sample_interval_ps)
+            job.probe_rate, job.sample_interval_ps, job.trace_spans,
+            job.profile, job.telemetry)
         if cached is not None:
             done(i, cached)
         else:
@@ -158,7 +171,8 @@ def run_jobs(jobs_list: Sequence[Job], jobs: Optional[int] = None,
                 store_result(result, job.config, job.factory, job.num_nodes,
                              job.units_attr, job.check_coherence,
                              job.cache_key_extra, job.trace_capacity,
-                             job.probe_rate, job.sample_interval_ps)
+                             job.probe_rate, job.sample_interval_ps,
+                             job.trace_spans, job.profile, job.telemetry)
                 done(i, result)
 
     for i in serial_idx:

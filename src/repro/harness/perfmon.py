@@ -72,9 +72,12 @@ def node_report(node, now_ps: Optional[int] = None) -> Dict[str, object]:
             "instructions": engine.c_instructions.value,
             "tsrf_high_water": engine.tsrf.high_water,
             "tsrf_stalls": engine.c_tsrf_stalls.value,
+            # Explicit 0.0 when no timestamp closes the window: report
+            # consumers diff node blocks key-by-key, so an idle engine
+            # (never-updated tracker) must not drop the key.
+            "tsrf_mean_occupancy": (engine.tw_tsrf.mean(now_ps)
+                                    if now_ps is not None else 0.0),
         }
-        if now_ps is not None:
-            block["tsrf_mean_occupancy"] = engine.tw_tsrf.mean(now_ps)
         engines[engine.name.split(".")[-1]] = block
     return {
         "node": node.name,

@@ -166,6 +166,32 @@ def _obs_key_extra(cache_key_extra: tuple, probe_rate: int,
     return cache_key_extra
 
 
+def _flightdeck_key_extra(cache_key_extra: tuple, trace_spans: int,
+                          profile: int, telemetry) -> tuple:
+    """Fold the flight-deck settings into the cache discriminator.
+
+    A span-traced run carries ``extras["trace"]`` and a profiled run
+    ``extras["host_profile"]``, so neither may answer (or be answered
+    by) a plain entry.  Span tracing also implies probes (the tracer
+    consumes probe completions), which changes the payload-adjacent
+    metrics document.  Telemetry folds as a bare enable marker — the
+    stream target is host-specific and the simulated payload identical
+    — so a repeat of a streamed run answers from cache (without
+    re-streaming; the CLI reports the hit instead).
+    """
+    if trace_spans:
+        cache_key_extra = cache_key_extra + (("spans", trace_spans),)
+    if profile:
+        cache_key_extra = cache_key_extra + (("profile", profile),)
+    if telemetry is not None:
+        cache_key_extra = cache_key_extra + (("telemetry", 1),)
+    return cache_key_extra
+
+
+#: probe rate implied by ``trace_spans`` when probes were not requested
+#: explicitly: the tracer needs probe completions to promote.
+SPAN_PROBE_RATE = 64
+
 #: sampled-mode defaults, applied identically by :func:`simulate` (to the
 #: run) and :func:`_sampled_key_extra` (to the cache key) so a default
 #: change can never let an old cache entry answer for a new default
@@ -194,12 +220,19 @@ def build_system(
     trace_capacity: int = 0,
     probe_rate: int = 0,
     sample_interval_ps: int = 0,
+    trace_spans: int = 0,
+    profile: int = 0,
 ) -> Tuple[PiranhaSystem, object]:
     """Assemble a ready-to-run (system, workload) pair.
 
     Shared by the cold path of :func:`simulate` and the CLI's
     ``checkpoint save`` verb, so a warm snapshot is taken of exactly the
     machine a measurement run would build.
+
+    ``trace_spans=N`` attaches the causal span tracer (keeping up to N
+    transactions), implying probes at :data:`SPAN_PROBE_RATE` when none
+    were requested; ``profile=N`` attaches the host self-profiler at a
+    1-in-N event sampling rate.
     """
     workload = workload_factory(config, num_nodes)
     checker = None
@@ -215,10 +248,18 @@ def build_system(
         bind_system(system)
     if check_coherence:
         system.enable_continuous_audit()
+    if trace_spans and not probe_rate:
+        probe_rate = SPAN_PROBE_RATE
     if probe_rate:
         system.enable_probes(probe_rate)
+    if trace_spans:
+        system.enable_span_trace(trace_spans)
     if sample_interval_ps:
         system.enable_sampler(sample_interval_ps)
+    if profile:
+        from ..observe.hostprof import HostProfiler
+
+        system.sim.profiler = HostProfiler(profile)
     return system, workload
 
 
@@ -231,6 +272,7 @@ def assemble_result(
     probe_rate: int = 0,
     sample_interval_ps: int = 0,
     wall: float = 0.0,
+    trace_spans: int = 0,
 ) -> RunResult:
     """Measure a drained system into a :class:`RunResult`.
 
@@ -277,6 +319,8 @@ def assemble_result(
         # and identical across the serial and ProcessPool paths
         result.extras["metrics"] = metrics_doc(
             system, result, probe_rate, sample_interval_ps)
+    _attach_flightdeck_extras(result, system, config, num_nodes, probe_rate,
+                              trace_spans)
     post_run = getattr(workload, "post_run", None)
     if post_run is not None:
         # end-of-run workload audit (fuzz residue check + telemetry);
@@ -299,6 +343,9 @@ def simulate(
     window: int = 0,
     period: int = 0,
     warming: str = "functional",
+    trace_spans: int = 0,
+    profile: int = 0,
+    telemetry=None,
 ) -> RunResult:
     """Run one simulation point, uncached.
 
@@ -344,8 +391,56 @@ def simulate(
     snapshot; every later sampled run of the point restores it and pays
     only the measurement windows, which is where the large sampled
     speedups live.
+
+    ``trace_spans=N`` keeps a causal span trace of up to N transactions
+    in ``extras["trace"]`` (a ``repro-trace/1`` document, also
+    Perfetto-loadable); ``profile=N`` attaches the host self-profiler at
+    a 1-in-N event rate and reports via ``extras["host_profile"]``;
+    ``telemetry`` (a path, fd, file-like object, or
+    :class:`~repro.observe.telemetry.TelemetryStream`) streams live
+    heartbeat/interval/window/run-end records as the simulation runs.
     """
     wall0 = time.time()
+    if trace_spans and not probe_rate:
+        probe_rate = SPAN_PROBE_RATE
+    stream = _open_telemetry(telemetry)
+    try:
+        result = _simulate_inner(
+            config, workload_factory, num_nodes, units_attr,
+            check_coherence, trace_capacity, probe_rate,
+            sample_interval_ps, warmup, mode, window, period, warming,
+            trace_spans, profile, stream, wall0)
+    finally:
+        if stream is not None and stream is not telemetry:
+            stream.close()
+    return result
+
+
+def _open_telemetry(telemetry):
+    """Normalise a telemetry target into a TelemetryStream (or None).
+    Callers close streams they opened; a caller-supplied stream is left
+    open (the CLI reuses its stream for the cached-answer banner)."""
+    if telemetry is None:
+        return None
+    from ..observe.telemetry import TelemetryStream
+
+    if isinstance(telemetry, TelemetryStream):
+        return telemetry
+    return TelemetryStream(telemetry)
+
+
+def _simulate_inner(
+    config, workload_factory, num_nodes, units_attr, check_coherence,
+    trace_capacity, probe_rate, sample_interval_ps, warmup, mode, window,
+    period, warming, trace_spans, profile, stream, wall0,
+) -> RunResult:
+    if stream is not None:
+        stream.emit(
+            "run_start", config=config.name,
+            workload=workload_token(workload_factory), num_nodes=num_nodes,
+            mode=mode, probe_rate=probe_rate,
+            sample_interval_ps=sample_interval_ps, trace_spans=trace_spans,
+            profile=profile)
     if mode == "sampled":
         from ..fastforward import SampledRun
 
@@ -382,15 +477,21 @@ def simulate(
             system, workload = build_system(
                 config, workload_factory, num_nodes, check_coherence,
                 trace_capacity, probe_rate, sample_interval_ps)
+        _arm_flightdeck(system, trace_spans, profile, stream)
         # handoff="none": batch measurement needs no in-memory window
         # captures (those serve the gate / CLI inspection paths); the
         # persistent warm-boundary snapshot above is unaffected
         run = SampledRun(system, window=window or SAMPLED_WINDOW,
                          period=period or SAMPLED_PERIOD, warming=warming,
-                         handoff="none", skip_warm=skip_warm, on_warm=on_warm)
+                         handoff="none", skip_warm=skip_warm, on_warm=on_warm,
+                         telemetry=stream)
         run.run()
-        return run.to_result(config, num_nodes, units_attr, probe_rate,
-                             sample_interval_ps, time.time() - wall0)
+        result = run.to_result(config, num_nodes, units_attr, probe_rate,
+                               sample_interval_ps, time.time() - wall0)
+        _attach_flightdeck_extras(result, system, config, num_nodes,
+                                  probe_rate, trace_spans)
+        _emit_run_end(stream, result)
+        return result
     if mode != "detailed":
         raise ValueError(f"unknown simulation mode {mode!r}")
     if warmup:
@@ -406,6 +507,7 @@ def simulate(
             _manifest, payload = hit
             system = restore_system(payload)
             workload = system.workload
+            _arm_flightdeck(system, trace_spans, profile, stream)
             system.run_to_completion()  # start() is a no-op: pure resume
         else:
             system, workload = build_system(
@@ -428,15 +530,84 @@ def simulate(
                 # opaque workloads (no stable token) cannot be stored;
                 # skip the snapshot cost entirely
                 WarmCapture(system, sink=persist)
+            _arm_flightdeck(system, trace_spans, profile, stream)
             system.run_to_completion()
     else:
         system, workload = build_system(
             config, workload_factory, num_nodes, check_coherence,
             trace_capacity, probe_rate, sample_interval_ps)
+        _arm_flightdeck(system, trace_spans, profile, stream)
         system.run_to_completion()
     wall = time.time() - wall0
-    return assemble_result(system, workload, config, num_nodes, units_attr,
-                           probe_rate, sample_interval_ps, wall)
+    result = assemble_result(system, workload, config, num_nodes, units_attr,
+                             probe_rate, sample_interval_ps, wall,
+                             trace_spans=trace_spans)
+    _emit_run_end(stream, result)
+    return result
+
+
+def _arm_flightdeck(system: PiranhaSystem, trace_spans: int, profile: int,
+                    stream) -> None:
+    """(Re)arm or disarm the flight-deck observers on a system.
+
+    Covers two situations the cold :func:`build_system` path cannot: a
+    system restored from a warm snapshot (whose pickled state reflects
+    whatever observers the *snapshotting* run had armed — this run's
+    settings must win), and attaching the host-side telemetry stream,
+    which is never built into a system.
+    """
+    if trace_spans:
+        if system.spans is None and system.probes is not None:
+            system.enable_span_trace(trace_spans)
+    elif system.spans is not None:
+        system.spans = None
+        if system.probes is not None:
+            system.probes.on_finish = None
+    if profile:
+        if system.sim.profiler is None:
+            from ..observe.hostprof import HostProfiler
+
+            system.sim.profiler = HostProfiler(profile)
+    else:
+        system.sim.profiler = None
+    if stream is not None and system.sampler is not None:
+        system.sampler.on_record = stream.on_interval
+
+
+def _attach_flightdeck_extras(result: RunResult, system: PiranhaSystem,
+                              config: ChipConfig, num_nodes: int,
+                              probe_rate: int, trace_spans: int) -> None:
+    """Attach the span-trace document and the host-profile report.
+
+    Shared by :func:`assemble_result` (detailed runs) and the sampled
+    path (``SampledRun.to_result`` assembles its own payload, so the
+    extras are grafted on afterwards).  The trace doc is deterministic
+    for the same reason the metrics doc is — built purely from
+    simulation state (probe stamps carry simulated time, kept txns drop
+    the process-global txn_id) — so it is safe to cache.  The host
+    profile is wall-clock and therefore NOT deterministic: fine in
+    ``extras`` (like ``sim_wall_s``), never in the payload.
+    """
+    if trace_spans and system.spans is not None:
+        from ..observe.spans import trace_doc
+
+        protocol_events = None
+        if system.checker is not None and system.checker.trace is not None:
+            protocol_events = system.checker.trace.events()
+        result.extras["trace"] = trace_doc(
+            system.spans, config.name, num_nodes, probe_rate,
+            protocol_events)
+    profiler = system.sim.profiler
+    if profiler is not None:
+        result.extras["host_profile"] = profiler.as_dict()
+
+
+def _emit_run_end(stream, result: RunResult, cached: bool = False) -> None:
+    if stream is None:
+        return
+    stream.emit("run_end", config=result.config, workload=result.workload,
+                items=result.units, throughput=result.throughput,
+                sim_wall_s=result.sim_wall_s, cached=cached)
 
 
 def _attach_telemetry(result: RunResult) -> RunResult:
@@ -456,13 +627,20 @@ def cached_result(
     trace_capacity: int = 0,
     probe_rate: int = 0,
     sample_interval_ps: int = 0,
+    trace_spans: int = 0,
+    profile: int = 0,
+    telemetry=None,
 ) -> Optional[RunResult]:
     """Memo/disk lookup for one point; None on miss (or caching off)."""
     if not cache_enabled():
         return None
+    if trace_spans and not probe_rate:
+        probe_rate = SPAN_PROBE_RATE
     cache_key_extra = _trace_key_extra(cache_key_extra, trace_capacity)
     cache_key_extra = _obs_key_extra(cache_key_extra, probe_rate,
                                      sample_interval_ps)
+    cache_key_extra = _flightdeck_key_extra(cache_key_extra, trace_spans,
+                                            profile, telemetry)
     memo_key = _memo_key(config, workload_factory, num_nodes, units_attr,
                          check_coherence, cache_key_extra)
     result = _MEMO.get(memo_key)
@@ -488,13 +666,20 @@ def store_result(
     trace_capacity: int = 0,
     probe_rate: int = 0,
     sample_interval_ps: int = 0,
+    trace_spans: int = 0,
+    profile: int = 0,
+    telemetry=None,
 ) -> None:
     """Record a freshly simulated point in the memo and disk caches."""
     if not cache_enabled():
         return
+    if trace_spans and not probe_rate:
+        probe_rate = SPAN_PROBE_RATE
     cache_key_extra = _trace_key_extra(cache_key_extra, trace_capacity)
     cache_key_extra = _obs_key_extra(cache_key_extra, probe_rate,
                                      sample_interval_ps)
+    cache_key_extra = _flightdeck_key_extra(cache_key_extra, trace_spans,
+                                            profile, telemetry)
     _MEMO.put(_memo_key(config, workload_factory, num_nodes, units_attr,
                         check_coherence, cache_key_extra), result)
     DISK_CACHE.put(
@@ -517,6 +702,9 @@ def run_configured(
     window: int = 0,
     period: int = 0,
     warming: str = "functional",
+    trace_spans: int = 0,
+    profile: int = 0,
+    telemetry=None,
 ) -> RunResult:
     """Simulate one explicit configuration, with two-level caching.
 
@@ -524,22 +712,38 @@ def run_configured(
     :func:`simulate` but stays out of the cache keys, because the warm
     and cold paths produce byte-identical results.  The sampled-mode
     settings *are* measurement identity (the payload is an estimate), so
-    they fold into the cache keys via :func:`_sampled_key_extra`.
+    they fold into the cache keys via :func:`_sampled_key_extra` — as do
+    the flight-deck settings (:func:`_flightdeck_key_extra`), whose
+    extras documents ride the cached result.  A cache hit for a
+    telemetry-enabled point answers without streaming; the terminal
+    ``run_end`` record (marked ``cached``) is still emitted so a watcher
+    sees the run conclude.
     """
     cache_key_extra = _sampled_key_extra(cache_key_extra, mode, window,
                                          period, warming)
     cached = cached_result(config, workload_factory, num_nodes, units_attr,
                            check_coherence, cache_key_extra, trace_capacity,
-                           probe_rate, sample_interval_ps)
+                           probe_rate, sample_interval_ps, trace_spans,
+                           profile, telemetry)
     if cached is not None:
+        if telemetry is not None:
+            stream = _open_telemetry(telemetry)
+            try:
+                _emit_run_end(stream, cached, cached=True)
+            finally:
+                if stream is not telemetry:
+                    stream.close()
         return cached
     result = simulate(config, workload_factory, num_nodes, units_attr,
                       check_coherence, trace_capacity, probe_rate,
                       sample_interval_ps, warmup=warmup, mode=mode,
-                      window=window, period=period, warming=warming)
+                      window=window, period=period, warming=warming,
+                      trace_spans=trace_spans, profile=profile,
+                      telemetry=telemetry)
     store_result(result, config, workload_factory, num_nodes, units_attr,
                  check_coherence, cache_key_extra, trace_capacity,
-                 probe_rate, sample_interval_ps)
+                 probe_rate, sample_interval_ps, trace_spans, profile,
+                 telemetry)
     return _attach_telemetry(result)
 
 
@@ -558,6 +762,9 @@ def run_workload(
     window: int = 0,
     period: int = 0,
     warming: str = "functional",
+    trace_spans: int = 0,
+    profile: int = 0,
+    telemetry=None,
 ) -> RunResult:
     """Simulate one preset configuration under one workload.
 
@@ -570,5 +777,6 @@ def run_workload(
         cache_key_extra=cache_key_extra, trace_capacity=trace_capacity,
         probe_rate=probe_rate, sample_interval_ps=sample_interval_ps,
         warmup=warmup, mode=mode, window=window, period=period,
-        warming=warming,
+        warming=warming, trace_spans=trace_spans, profile=profile,
+        telemetry=telemetry,
     )

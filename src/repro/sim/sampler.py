@@ -56,6 +56,10 @@ class IntervalSampler:
         self._derive = derive
         self._running = running
         self.intervals: List[Dict[str, object]] = []
+        #: optional ``cb(record)`` invoked after each interval record is
+        #: appended — the live-telemetry stream hangs here.  Host-side
+        #: observer: stripped from checkpoints (see :meth:`state_dict`).
+        self.on_record: Optional[Callable[[Dict[str, object]], None]] = None
         self._prev: Optional[Dict[str, float]] = None
         self._prev_time = 0
         self._reset_pending = False
@@ -104,8 +108,15 @@ class IntervalSampler:
         self._reset_pending = True
 
     def finalize(self) -> None:
-        """Emit the final partial interval (if any time has elapsed)."""
-        if not self._started or self._finalized:
+        """Emit the final partial interval (if any time has elapsed).
+
+        Idempotent at a fixed time via :meth:`_record`'s zero-width skip
+        rather than a latch, so an early-terminated run (max-events
+        bound, operator interrupt) that later *resumes* still flushes
+        the true tail: each finalize emits whatever partial interval has
+        accumulated since the last record, flagged ``partial``.
+        """
+        if not self._started:
             return
         self._finalized = True
         if self.sim.now > self._prev_time:
@@ -152,6 +163,9 @@ class IntervalSampler:
         self._prev = cur
         self._prev_time = now_ps
         self._reset_pending = False
+        cb = getattr(self, "on_record", None)
+        if cb is not None:
+            cb(record)
 
     # -- checkpoint/restore ------------------------------------------------
 
@@ -162,10 +176,18 @@ class IntervalSampler:
         sampler keeps collecting from the restored components).  The
         pending ``schedule_every`` tick is *not* here: it rides the
         simulator's pickled event queue, so a restored sampler resumes
-        sampling without being re-armed (and without double-arming)."""
-        return dict(self.__dict__)
+        sampling without being re-armed (and without double-arming).
+
+        ``on_record`` is excluded: it points at host-side sinks (an open
+        telemetry file handle) that can neither pickle nor meaningfully
+        transfer across processes; a restored sampler re-attaches its
+        stream through the harness."""
+        state = dict(self.__dict__)
+        state.pop("on_record", None)
+        return state
 
     def load_state(self, state: Dict[str, object]) -> None:
+        self.on_record = None
         self.__dict__.update(state)
 
     def __getstate__(self) -> Dict[str, object]:

@@ -267,8 +267,10 @@ class StatGroup:
 
         Pass *now_ps* to close the measurement window of any
         :class:`TimeWeighted` trackers: their time-weighted ``mean`` is
-        only defined up to a point in time, so it is emitted only when
-        the caller provides one.
+        only defined up to a point in time.  Without one the mean is
+        reported as an explicit 0.0 — downstream consumers (the metrics
+        schema, report diffing) rely on every group exposing the same
+        key set regardless of whether a tracker was ever updated.
         """
         out: Dict[str, object] = {}
         for name, stat in self._stats.items():
@@ -287,11 +289,11 @@ class StatGroup:
                              "edges": list(stat.edges),
                              "bins": list(stat.bins)}
             elif isinstance(stat, TimeWeighted):
-                tw: Dict[str, object] = {"peak": stat.peak,
-                                         "level": stat.level}
-                if now_ps is not None:
-                    tw["mean"] = stat.mean(now_ps)
-                out[name] = tw
+                out[name] = {
+                    "peak": stat.peak,
+                    "level": stat.level,
+                    "mean": stat.mean(now_ps) if now_ps is not None else 0.0,
+                }
         return out
 
     def __repr__(self) -> str:  # pragma: no cover

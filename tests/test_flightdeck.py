@@ -1,0 +1,520 @@
+"""Flight-deck observability: span tracer, host profiler, live telemetry.
+
+Covers the PR's acceptance criteria:
+
+* each transaction's child spans partition the root span exactly —
+  sum-of-hops == span duration — and the traced per-class latencies
+  reconcile with the probe latency histograms from the same run,
+* the exported ``repro-trace/1`` document validates against its schema
+  and is simultaneously well-formed Chrome trace-event / Perfetto input,
+* the host profiler perturbs nothing when disabled (bit-identical
+  deterministic payloads) and attributes sampled wall-clock to
+  (component, event-class) pairs when enabled,
+* telemetry streams carry run_start / interval / window / checkpoint /
+  run_end records, survive the harness (serial, parallel, sampled,
+  cached) and fold into the result-cache key as an enable marker,
+* the interval sampler flushes its partial final interval on early
+  termination (S1) and the ``repro watch`` / ``repro profile`` CLI
+  verbs work end to end.
+"""
+
+import dataclasses
+import io
+import json
+
+import pytest
+
+from repro.core import PiranhaSystem, preset
+from repro.harness import Job, MigratoryFactory, clear_cache, run_jobs
+from repro.harness.runner import run_configured, simulate
+from repro.observe import (
+    HostProfiler,
+    SpanCollector,
+    TRACE_SCHEMA,
+    TelemetryStream,
+    read_records,
+    render_record,
+    trace_doc,
+    validate_trace,
+)
+from repro.observe.hostprof import event_key
+from repro.observe.spans import HOP_TRACKS, TRACKS, chrome_events
+from repro.sim import Simulator
+from repro.workloads import MicroParams, OltpParams, OltpWorkload
+
+TINY_MICRO = MicroParams(iterations=120, warmup=30)
+TINY_OLTP = OltpParams(transactions=6, warmup_transactions=8)
+
+
+@pytest.fixture(autouse=True)
+def isolated_caches(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def run_traced(nodes=1, config="P2", max_txns=64, rate=1):
+    cfg = preset(config)
+    system = PiranhaSystem(cfg, num_nodes=nodes)
+    system.enable_probes(rate)
+    system.enable_span_trace(max_txns)
+    system.attach_workload(OltpWorkload(TINY_OLTP, cpus_per_node=cfg.cpus,
+                                        num_nodes=nodes))
+    system.run_to_completion()
+    return system
+
+
+class TestSpanCollector:
+    def test_children_partition_root_exactly(self):
+        system = run_traced()
+        assert system.spans.txns
+        for txn in system.spans.txns:
+            spans = txn["spans"]
+            # contiguous, gap-free, overlap-free cover of [t0, t1]
+            assert spans[0]["t0_ps"] == txn["t0_ps"]
+            assert spans[-1]["t1_ps"] == txn["t1_ps"]
+            for a, b in zip(spans, spans[1:]):
+                assert a["t1_ps"] == b["t0_ps"]
+            assert all(s["dur_ps"] >= 0 for s in spans)
+            assert (sum(s["dur_ps"] for s in spans)
+                    == txn["latency_ps"]
+                    == txn["t1_ps"] - txn["t0_ps"])
+
+    def test_spans_reconcile_with_probe_histograms(self):
+        """Acceptance criterion: traced per-class span durations agree
+        with the probe latency aggregates from the same run.  With
+        max_txns >= completed the tracer saw every probe the collector
+        aggregated, so per-class counts and total latencies must match
+        exactly (the trace is a lossless re-projection of the probes)."""
+        system = run_traced(max_txns=100_000)
+        probes = system.probes.as_dict()
+        assert system.spans.seen == probes["completed"]
+
+        by_class = {}
+        for txn in system.spans.txns:
+            blk = by_class.setdefault(txn["class"], [0, 0])
+            blk[0] += 1
+            blk[1] += txn["latency_ps"]
+        for cls, stats in probes["classes"].items():
+            count, total_ps = by_class.get(cls, (0, 0))
+            assert count == stats["count"], cls
+            if count:
+                # probe aggregates are in ns (float); span sums in ps
+                assert total_ps / 1000.0 == pytest.approx(
+                    stats["mean_ns"] * stats["count"], rel=1e-9), cls
+                # histogram mass agrees too
+                assert sum(stats["histogram"]["bins"]) == count
+
+    def test_every_hop_lands_on_a_known_track(self):
+        system = run_traced()
+        for txn in system.spans.txns:
+            for span in txn["spans"]:
+                assert span["track"] in TRACKS
+                assert HOP_TRACKS.get(span["label"], "misc") == span["track"]
+
+    def test_max_txns_caps_kept_not_seen(self):
+        system = run_traced(max_txns=5)
+        assert len(system.spans.txns) == 5
+        assert system.spans.seen > 5
+
+    def test_requires_probes(self):
+        system = PiranhaSystem(preset("P1"), num_nodes=1)
+        with pytest.raises(RuntimeError, match="probes"):
+            system.enable_span_trace()
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SpanCollector(0)
+
+
+class TestTraceDoc:
+    def _doc(self, **kw):
+        system = run_traced(**kw)
+        return trace_doc(system.spans, "P2", 1,
+                         system.probes.rate), system
+
+    def test_doc_validates(self):
+        doc, _ = self._doc()
+        assert doc["schema"] == TRACE_SCHEMA
+        assert validate_trace(doc) == []
+
+    def test_doc_round_trips_through_json(self):
+        doc, _ = self._doc()
+        assert validate_trace(json.loads(json.dumps(doc))) == []
+
+    def test_doc_is_deterministic(self):
+        docs = [json.dumps(self._doc()[0], sort_keys=True)
+                for _ in range(2)]
+        assert docs[0] == docs[1]
+
+    def test_chrome_events_shape(self):
+        doc, system = self._doc()
+        events = doc["traceEvents"]
+        # metadata names every track row on every node
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {e["name"] for e in meta} == {
+            "process_name", "thread_name", "thread_sort_index"}
+        named_tracks = {e["args"]["name"] for e in meta
+                        if e["name"] == "thread_name"}
+        assert named_tracks == set(TRACKS)
+        # one root X event per kept txn plus one X per child span
+        xs = [e for e in events if e["ph"] == "X"]
+        n_spans = sum(len(t["spans"]) for t in system.spans.txns)
+        assert len(xs) == len(system.spans.txns) + n_spans
+        for ev in xs:
+            assert ev["ts"] >= 0 and ev["dur"] >= 0
+            assert isinstance(ev["pid"], int) and isinstance(ev["tid"], int)
+
+    def test_protocol_events_become_instants(self):
+        from repro.core import CoherenceChecker
+
+        cfg = preset("P2")
+        system = PiranhaSystem(cfg, num_nodes=1,
+                               checker=CoherenceChecker.with_trace(512))
+        system.enable_probes(1)
+        system.enable_span_trace(16)
+        system.attach_workload(OltpWorkload(TINY_OLTP,
+                                            cpus_per_node=cfg.cpus))
+        system.run_to_completion()
+        proto = system.checker.trace.events()
+        assert proto
+        events = chrome_events(system.spans.txns, protocol_events=proto)
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(instants) == len(proto)
+        assert all(e["cat"] == "protocol" for e in instants)
+
+    def test_validator_flags_broken_invariants(self):
+        doc, _ = self._doc()
+        assert validate_trace("nope") == ["document is not a JSON object"]
+        bad = json.loads(json.dumps(doc))
+        bad["schema"] = "repro-trace/0"
+        assert any("schema" in p for p in validate_trace(bad))
+        bad = json.loads(json.dumps(doc))
+        bad["txns"][0]["spans"][0]["t1_ps"] += 1  # breaks contiguity + dur
+        assert validate_trace(bad)
+        bad = json.loads(json.dumps(doc))
+        bad["txns"][0]["latency_ps"] += 5  # breaks hop-sum == latency
+        assert any("sum" in p or "latency" in p for p in validate_trace(bad))
+        bad = json.loads(json.dumps(doc))
+        del bad["traceEvents"]
+        assert any("traceEvents" in p for p in validate_trace(bad))
+        bad = json.loads(json.dumps(doc))
+        bad["txns"][0]["spans"][0]["track"] = "warp_core"
+        assert any("unknown track" in p for p in validate_trace(bad))
+
+
+class TestHostProfiler:
+    def test_event_key_classification(self):
+        class Widget:
+            def frob(self):
+                pass
+
+        def bare():
+            pass
+
+        w = Widget()
+        assert event_key(w.frob) == ("Widget", "frob")
+        assert event_key(bare) == ("function", "bare")
+
+    def test_event_key_unwraps_periodic_ticks(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_every(100, lambda: fired.append(1) or False)
+        # grab the _PeriodicTick wrapper straight from the queue
+        tick = next(handle.fn for _, _, handle in sim._queue
+                    if type(handle.fn).__name__ == "_PeriodicTick")
+        comp, event = event_key(tick)
+        assert event.startswith("every:")
+
+    def test_disabled_profiler_is_bit_identical(self):
+        base = simulate(preset("P2"), MigratoryFactory(TINY_MICRO),
+                        units_attr="iterations")
+        profiled = simulate(preset("P2"), MigratoryFactory(TINY_MICRO),
+                            units_attr="iterations", profile=4)
+        assert profiled.payload_tuple() == base.payload_tuple()
+        assert "host_profile" not in base.extras
+        assert "host_profile" in profiled.extras
+
+    def test_span_tracing_never_perturbs_measurement(self):
+        base = simulate(preset("P2"), MigratoryFactory(TINY_MICRO),
+                        units_attr="iterations", probe_rate=4)
+        traced = simulate(preset("P2"), MigratoryFactory(TINY_MICRO),
+                          units_attr="iterations", probe_rate=4,
+                          trace_spans=32)
+        assert traced.payload_tuple() == base.payload_tuple()
+        assert validate_trace(traced.extras["trace"]) == []
+
+    def test_sampled_attribution(self):
+        result = simulate(preset("P2"), MigratoryFactory(TINY_MICRO),
+                          units_attr="iterations", profile=4)
+        prof = result.extras["host_profile"]
+        assert prof["rate"] == 4
+        assert prof["events_seen"] > 0
+        # 1-in-4 sampling, exact by construction of the dispatch counter
+        assert prof["events_sampled"] == prof["events_seen"] // 4
+        assert prof["hotspots"]
+        top = prof["hotspots"][0]
+        assert top["samples"] > 0 and top["sampled_ns"] > 0
+        assert sum(r["share"] for r in prof["hotspots"]) == pytest.approx(1.0)
+        comps = {r["component"] for r in prof["hotspots"]}
+        assert "L2Bank" in comps or "InOrderCpu" in comps
+
+    def test_merge_and_render(self):
+        a, b = HostProfiler(2), HostProfiler(2)
+        a.record(len, 100)
+        b.record(len, 50)
+        b.events_seen = 4
+        a.merge(b)
+        assert a.buckets[event_key(len)] == [2, 150]
+        assert "host profile" in a.render()
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            HostProfiler(0)
+
+
+class TestTelemetry:
+    def test_stream_records_through_simulate(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        simulate(preset("P2"), MigratoryFactory(TINY_MICRO),
+                 units_attr="iterations", sample_interval_ps=10_000_000,
+                 telemetry=str(path))
+        records = read_records(str(path))
+        kinds = [r["kind"] for r in records]
+        assert kinds[0] == "run_start"
+        assert kinds[-1] == "run_end"
+        assert "interval" in kinds
+        intervals = [r for r in records if r["kind"] == "interval"]
+        assert all("wall" in r for r in records)
+        assert [r["index"] for r in intervals] == sorted(
+            r["index"] for r in intervals)
+        # S1: the tail interval is flushed and flagged
+        assert intervals[-1]["partial"]
+
+    def test_stream_to_file_like(self):
+        buf = io.StringIO()
+        with TelemetryStream(buf) as stream:
+            stream.emit("run_start", config="P2")
+            stream.emit("run_end", items=1)
+        lines = buf.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["kind"] == "run_start"
+
+    def test_read_records_skips_partial_tail(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind": "run_start"}\n{"kind": "inter')
+        records = read_records(str(path))
+        assert [r["kind"] for r in records] == ["run_start"]
+        assert read_records(str(tmp_path / "missing.jsonl")) == []
+
+    def test_render_record_kinds(self):
+        assert "run_start" in render_record(
+            {"kind": "run_start", "config": "P8", "workload": "oltp",
+             "num_nodes": 1})
+        line = render_record(
+            {"kind": "interval", "index": 3, "t1_ps": 50_000_000,
+             "partial": True, "reset": True,
+             "derived": {"ipc": 0.5, "l1_miss_rate": 0.25}})
+        assert "interval[3]" in line and "(partial)" in line
+        assert "ipc=0.5000" in line
+        assert "worst_ci" in render_record(
+            {"kind": "window", "index": 0, "items": 10, "ci": {"a": 0.1}})
+        assert "checkpoint" in render_record(
+            {"kind": "checkpoint", "time_ps": 1_000_000, "bytes": 42})
+        assert "(cached)" in render_record(
+            {"kind": "run_end", "items": 5, "sim_wall_s": 0.1,
+             "cached": True})
+
+    def test_cache_hit_emits_cached_run_end(self, tmp_path):
+        first = tmp_path / "a.jsonl"
+        second = tmp_path / "b.jsonl"
+        run_configured(preset("P2"), MigratoryFactory(TINY_MICRO),
+                       units_attr="iterations", telemetry=str(first))
+        run_configured(preset("P2"), MigratoryFactory(TINY_MICRO),
+                       units_attr="iterations", telemetry=str(second))
+        replay = read_records(str(second))
+        assert [r["kind"] for r in replay] == ["run_end"]
+        assert replay[0]["cached"] is True
+
+    def test_sampled_mode_emits_window_records(self, tmp_path):
+        path = tmp_path / "sampled.jsonl"
+        simulate(preset("P2"), MigratoryFactory(TINY_MICRO),
+                 units_attr="iterations", sample_interval_ps=10_000_000,
+                 mode="sampled", window=30, period=60,
+                 telemetry=str(path))
+        records = read_records(str(path))
+        kinds = {r["kind"] for r in records}
+        assert "window" in kinds
+        windows = [r for r in records if r["kind"] == "window"]
+        assert all("ci" in w and "items" in w for w in windows)
+
+
+class TestHarnessIntegration:
+    def _job(self, **kw):
+        kw.setdefault("config", preset("P2"))
+        return Job(factory=MigratoryFactory(TINY_MICRO),
+                   units_attr="iterations", **kw)
+
+    def test_cache_key_folds_flightdeck_settings(self):
+        plain = run_configured(preset("P2"), MigratoryFactory(TINY_MICRO),
+                               units_attr="iterations")
+        traced = run_configured(preset("P2"), MigratoryFactory(TINY_MICRO),
+                                units_attr="iterations", trace_spans=16)
+        profiled = run_configured(preset("P2"), MigratoryFactory(TINY_MICRO),
+                                  units_attr="iterations", profile=8)
+        assert "trace" not in plain.extras
+        assert "trace" in traced.extras
+        assert "host_profile" in profiled.extras
+        # distinct cache entries: a traced repeat keeps its trace
+        again = run_configured(preset("P2"), MigratoryFactory(TINY_MICRO),
+                               units_attr="iterations", trace_spans=16)
+        assert (json.dumps(again.extras["trace"], sort_keys=True)
+                == json.dumps(traced.extras["trace"], sort_keys=True))
+        # observability never perturbs the deterministic payload
+        assert traced.payload_tuple() == plain.payload_tuple()
+
+    def test_trace_spans_imply_probe_rate(self):
+        result = run_configured(preset("P2"), MigratoryFactory(TINY_MICRO),
+                                units_attr="iterations", trace_spans=16)
+        assert result.extras["trace"]["probe_rate"] == 64
+        # explicit probe rate wins over the implied default
+        explicit = run_configured(preset("P2"), MigratoryFactory(TINY_MICRO),
+                                  units_attr="iterations", trace_spans=16,
+                                  probe_rate=4)
+        assert explicit.extras["trace"]["probe_rate"] == 4
+
+    def test_parallel_jobs_carry_trace_and_profile(self):
+        job = self._job(trace_spans=16, profile=8)
+        serial = simulate(job.config, job.factory,
+                          units_attr=job.units_attr,
+                          trace_spans=16, profile=8)
+        clear_cache()
+        other = self._job(trace_spans=16, profile=8,
+                          config=dataclasses.replace(preset("P2"),
+                                                     name="P2b"))
+        results = run_jobs([job, other], jobs=2)
+        for result in results:
+            assert validate_trace(result.extras["trace"]) == []
+            assert result.extras["host_profile"]["events_sampled"] > 0
+        assert (json.dumps(results[0].extras["trace"], sort_keys=True)
+                == json.dumps(serial.extras["trace"], sort_keys=True))
+
+    def test_parallel_jobs_stream_telemetry_from_workers(self, tmp_path):
+        paths = [tmp_path / "w0.jsonl", tmp_path / "w1.jsonl"]
+        jobs = [
+            self._job(sample_interval_ps=10_000_000,
+                      telemetry=str(paths[0])),
+            self._job(sample_interval_ps=10_000_000,
+                      telemetry=str(paths[1]),
+                      config=dataclasses.replace(preset("P2"), name="P2b")),
+        ]
+        run_jobs(jobs, jobs=2)
+        for path in paths:
+            kinds = [r["kind"] for r in read_records(str(path))]
+            assert kinds[0] == "run_start" and kinds[-1] == "run_end"
+
+    def test_sampled_mode_attaches_trace_extras(self):
+        result = simulate(preset("P2"), MigratoryFactory(TINY_MICRO),
+                          units_attr="iterations", mode="sampled",
+                          window=30, period=60, trace_spans=16, profile=8)
+        assert validate_trace(result.extras["trace"]) == []
+        assert result.extras["host_profile"]["events_seen"] > 0
+
+
+class TestPartialTailFlush:
+    """S1: early termination must flush (and flag) the tail interval."""
+
+    def test_max_events_bound_flushes_partial_tail(self):
+        cfg = preset("P2")
+        system = PiranhaSystem(cfg, num_nodes=1)
+        system.enable_sampler(10_000_000)
+        system.attach_workload(OltpWorkload(TINY_OLTP,
+                                            cpus_per_node=cfg.cpus))
+        with pytest.raises(RuntimeError, match="stalled"):
+            system.run_to_completion(max_events=500)
+        assert system.sampler.intervals
+        assert system.sampler.intervals[-1]["partial"]
+
+    def test_resume_after_early_flush_continues_series(self):
+        cfg = preset("P2")
+        system = PiranhaSystem(cfg, num_nodes=1)
+        system.enable_sampler(10_000_000)
+        system.attach_workload(OltpWorkload(TINY_OLTP,
+                                            cpus_per_node=cfg.cpus))
+        with pytest.raises(RuntimeError, match="stalled"):
+            system.run_to_completion(max_events=500)
+        early = list(system.sampler.intervals)
+        system.resume()
+        series = system.sampler.intervals
+        assert len(series) > len(early)
+        # no duplicated or zero-width record at the flush boundary
+        for a, b in zip(series, series[1:]):
+            assert b["t1_ps"] > b["t0_ps"] == a["t1_ps"]
+
+
+class TestCli:
+    def test_run_trace_flags_write_valid_doc(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "trace.json"
+        rc = main(["run", "--config", "P2", "--workload", "migratory",
+                   "--scale", "0.2", "--trace-spans", "32",
+                   "--trace-out", str(out), "--profile", "8"])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert validate_trace(doc) == []
+        assert doc["kept"] <= 32
+        printed = capsys.readouterr().out
+        assert "span trace written" in printed
+        assert "host profile:" in printed
+
+    def test_profile_verb(self, capsys):
+        from repro.__main__ import main
+
+        rc = main(["profile", "--config", "P2", "--workload", "migratory",
+                   "--scale", "0.2", "--sample-rate", "4"])
+        assert rc == 0
+        assert "host profile:" in capsys.readouterr().out
+
+    def test_profile_verb_json(self, capsys):
+        from repro.__main__ import main
+
+        rc = main(["profile", "--config", "P2", "--workload", "migratory",
+                   "--scale", "0.2", "--sample-rate", "4", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["rate"] == 4
+        assert doc["hotspots"]
+
+    def test_run_telemetry_then_watch(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = tmp_path / "live.jsonl"
+        rc = main(["run", "--config", "P2", "--workload", "migratory",
+                   "--scale", "0.2", "--telemetry", str(path)])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["watch", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "run_start" in out and "run_end" in out
+
+    def test_watch_follow_stops_at_run_end(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = tmp_path / "done.jsonl"
+        with TelemetryStream(str(path)) as stream:
+            stream.emit("run_start", config="P2", workload="x", num_nodes=1)
+            stream.emit("run_end", items=3, sim_wall_s=0.0)
+        rc = main(["watch", str(path), "--follow", "--timeout", "2"])
+        assert rc == 0
+        assert "run_end" in capsys.readouterr().out
+
+    def test_watch_missing_file(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        rc = main(["watch", str(tmp_path / "nope.jsonl")])
+        assert rc == 1

@@ -465,3 +465,115 @@ class TestCli:
         doc = json.loads(capsys.readouterr().out)
         assert validate_metrics(doc) == []
         assert doc["probes"]["completed"] > 0
+
+    def test_report_json_implies_default_observability(self, capsys):
+        # --json without explicit rates implies the default probe and
+        # sampling settings, and the emitted doc records what ran.
+        from repro.__main__ import main
+
+        rc = main(["report", "--config", "P2", "--workload", "migratory",
+                   "--scale", "0.2", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert validate_metrics(doc) == []
+        assert doc["run"]["probe_rate"] == 64
+        assert doc["probes"] is not None
+        assert doc["timeseries"] is not None
+
+    def test_report_json_emits_every_probe_class(self, capsys):
+        # Classes a tiny run never exercises (remote_dirty on one node)
+        # must still appear with explicit zero counts — consumers index
+        # the class table without guarding every key.
+        from repro.__main__ import main
+        from repro.core.probe import PROBE_CLASSES
+
+        rc = main(["report", "--config", "P2", "--workload", "oltp",
+                   "--scale", "0.1", "--json", "--probe-rate", "1"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        classes = doc["probes"]["classes"]
+        assert set(classes) == set(PROBE_CLASSES)
+        for cls, block in classes.items():
+            assert block["count"] >= 0
+        # engines always expose the S2 explicit-zero occupancy key
+        for node in doc["counters"]:
+            for eng in node["engines"].values():
+                assert "tsrf_mean_occupancy" in eng
+
+    def test_report_json_multinode_io_homed(self, capsys):
+        from repro.__main__ import main
+
+        rc = main(["report", "--config", "P2", "--workload", "oltp",
+                   "--nodes", "2", "--scale", "0.1", "--json",
+                   "--probe-rate", "4"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert validate_metrics(doc) == []
+        assert len(doc["counters"]) == 2
+
+
+class TestClassifyEdgeCases:
+    """Probe classification corners: issue-time type wins over the
+    servicing source (upgrade-after-downgrade), and lines homed on an
+    I/O node classify like any remote-homed line."""
+
+    def test_upgrade_wins_over_every_source(self):
+        # An EXCLUSIVE (upgrade) the bank downgraded to READ_EXCLUSIVE
+        # after a conflict may complete from any source; issue-time
+        # intent still classifies it as an upgrade attempt.
+        for source in ReplySource:
+            assert classify(RequestType.EXCLUSIVE, source) == "upgrade"
+
+    def test_downgraded_upgrade_probe_counts_as_upgrade(self):
+        collector = ProbeCollector(1)
+        probe = collector.maybe_attach(3, 0, 0, RequestType.EXCLUSIVE, 0)
+        probe.stamp("bank", 10_000)
+        probe.stamp("mem_data", 90_000)
+        # bank degraded the upgrade to a full fetch: data came from memory
+        probe.finish(100_000, ReplySource.LOCAL_MEM)
+        d = collector.as_dict()
+        assert d["classes"]["upgrade"]["count"] == 1
+        assert d["classes"]["local_mem"]["count"] == 0
+        # the raw source bucketing is class-independent
+        assert d["by_source"]["local_mem"]["count"] == 1
+        assert d["samples"][0]["class"] == "upgrade"
+        assert d["samples"][0]["source"] == "local_mem"
+
+    def test_io_node_homed_line_classifies_remote_clean(self):
+        from repro.core.messages import MemRequest
+        from repro.core import AccessKind
+
+        system = PiranhaSystem(preset("P2"), num_nodes=1, io_nodes=1)
+        system.enable_probes(1)
+        io_homed = 0x2000  # chunk 1 of the 8 KB interleave → I/O node
+        assert system.address_map.home_of(io_homed) == 1
+        req = MemRequest(cpu_id=0, kind=AccessKind.LOAD, addr=io_homed,
+                         is_instr=False, done=lambda l, s: None, node=0)
+        req.issue_time = 0
+        system.nodes[0].issue_miss(req, RequestType.READ)
+        system.sim.run()
+        d = system.probes.as_dict()
+        assert d["completed"] == 1
+        assert d["classes"]["remote_clean"]["count"] == 1
+        sample = d["samples"][0]
+        assert sample["class"] == "remote_clean"
+        # hop-sum invariant holds across the I/O-node protocol path too
+        stamps = sample["stamps"]
+        deltas = sum(t - prev for (_, prev), (_, t)
+                     in zip(stamps, stamps[1:]))
+        assert deltas == stamps[-1][1] - stamps[0][1]
+
+    def test_io_node_homed_exclusive_still_upgrade(self):
+        from repro.core.messages import MemRequest
+        from repro.core import AccessKind
+
+        system = PiranhaSystem(preset("P2"), num_nodes=1, io_nodes=1)
+        system.enable_probes(1)
+        req = MemRequest(cpu_id=0, kind=AccessKind.STORE, addr=0x2000,
+                         is_instr=False, done=lambda l, s: None, node=0)
+        req.issue_time = 0
+        system.nodes[0].issue_miss(req, RequestType.EXCLUSIVE)
+        system.sim.run()
+        d = system.probes.as_dict()
+        assert d["completed"] == 1
+        assert d["classes"]["upgrade"]["count"] == 1

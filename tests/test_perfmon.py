@@ -77,6 +77,28 @@ class TestZeroActivity:
             for eng in report["engines"].values():
                 assert eng["threads"] == 0
 
+    def test_never_updated_counters_report_explicit_zero(self):
+        # An engine whose TSRF never held a thread must still expose the
+        # time-weighted occupancy key — as 0.0, not as a missing key —
+        # whether or not the caller closes the window with now_ps.
+        system = PiranhaSystem(preset("P2"), num_nodes=2)
+        for report in (node_report(system.nodes[0]),
+                       node_report(system.nodes[0], now_ps=1_000_000)):
+            for eng in report["engines"].values():
+                assert eng["tsrf_mean_occupancy"] == 0.0
+                assert eng["tsrf_high_water"] == 0
+                assert eng["tsrf_stalls"] == 0
+
+    def test_engine_key_set_stable_with_and_without_now(self, run_system):
+        # S2 contract: the same key set comes back regardless of window
+        # closing, so report diffing never sees keys appear/disappear.
+        plain = node_report(run_system.nodes[0])
+        windowed = node_report(run_system.nodes[0],
+                               now_ps=run_system.sim.now)
+        for name in plain["engines"]:
+            assert (set(plain["engines"][name])
+                    == set(windowed["engines"][name]))
+
     def test_render_on_idle_system(self):
         system = PiranhaSystem(preset("P1"), num_nodes=1)
         text = render_report(system_report(system))

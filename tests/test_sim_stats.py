@@ -241,13 +241,15 @@ class TestAsDictWindowed:
         assert d["lat"]["edges"] == [10, 20]
         assert d["lat"]["bins"] == [0, 1, 0]
 
-    def test_time_weighted_mean_needs_now(self):
+    def test_time_weighted_mean_always_present(self):
         g = StatGroup("mod")
         tw = g.time_weighted("occ")
         tw.set(0, 2.0)
         tw.set(100, 4.0)
+        # without a closing timestamp the mean is an explicit 0.0, never
+        # an omitted key — consumers diff groups key-by-key
         plain = g.as_dict()
-        assert "mean" not in plain["occ"]
+        assert plain["occ"]["mean"] == 0.0
         windowed = g.as_dict(now_ps=200)
         # 2.0 for 100 ps then 4.0 for 100 ps
         assert windowed["occ"]["mean"] == pytest.approx(3.0)
