@@ -36,6 +36,12 @@ warm-start), asserts the two sampled payloads are bit-identical, and
 appends effective ev/s, speedup and measured per-class error to
 ``BENCH_fastforward.json``.
 
+``--isa`` runs the full ISA kernel cross-validation (functional
+reference vs the timed machine) at the requested scale, asserts every
+kernel's final memory is bit-exact and every tolerance check passes,
+and appends wall-clock plus instruction-throughput numbers for both
+execution models to ``BENCH_isa.json``.
+
 Determinism makes the measurements comparable across runs: the simulated
 results are bit-for-bit identical in every mode, only wall-clock varies.
 """
@@ -409,6 +415,107 @@ def bench_fastforward(scale: float) -> dict:
     }
 
 
+def bench_isa(scale: float) -> dict:
+    """Cross-validate every kernel and time both execution models.
+
+    One ``run_suite`` pass (uncached) over the five kernels on P8 —
+    which must come back all-green: bit-exact memory and every
+    tolerance check passing — plus a separate pure-functional timing
+    pass, so the record tracks the speed of the architectural
+    reference and the timed machine separately.
+    """
+    from repro.isa.kernels import (KERNEL_NAMES, run_functional,
+                                   scaled_params)
+    from repro.isa.validate import fit_params, run_suite, validate_report
+
+    old_no_cache = os.environ.get("REPRO_NO_CACHE")
+    os.environ["REPRO_NO_CACHE"] = "1"
+    try:
+        t0 = time.perf_counter()
+        doc = run_suite(config="P8", nodes=1, scale=scale, seeds=(0, 1, 2))
+        suite_s = time.perf_counter() - t0
+    finally:
+        if old_no_cache is None:
+            os.environ.pop("REPRO_NO_CACHE", None)
+        else:
+            os.environ["REPRO_NO_CACHE"] = old_no_cache
+
+    assert doc["ok"], (
+        "ISA cross-validation failed: "
+        + ", ".join(f"{k}:{[c['name'] for c in r['checks'] if not c['ok']]}"
+                    for k, r in doc["kernels"].items() if not r["ok"]))
+    assert validate_report(doc) == [], "repro-xval/1 report invalid"
+
+    t0 = time.perf_counter()
+    functional_retired = 0
+    for kernel in KERNEL_NAMES:
+        params = fit_params(kernel, 8, scaled_params(kernel, scale))
+        functional_retired += sum(run_functional(kernel, 8, params).retired)
+    functional_s = time.perf_counter() - t0
+
+    timed_instructions = sum(
+        r["timed"]["counters"]["instructions"]
+        for r in doc["kernels"].values())
+    per_kernel = {
+        name: {
+            "memory_match": rep["memory_match"],
+            "checks": len(rep["checks"]),
+            "instructions": rep["timed"]["counters"]["instructions"],
+            "membars": rep["timed"]["membars"],
+            "wh64_issued": rep["timed"]["wh64_issued"],
+        }
+        for name, rep in doc["kernels"].items()
+    }
+    return {
+        "scale": scale,
+        "kernels": per_kernel,
+        "checks_passed": doc["summary"]["checks"]
+        - doc["summary"]["checks_failed"],
+        "checks_total": doc["summary"]["checks"],
+        "all_green": True,
+        "suite_wall_s": round(suite_s, 4),
+        "timed_instructions": timed_instructions,
+        "timed_instructions_per_s": round(timed_instructions / suite_s),
+        "functional_wall_s": round(functional_s, 4),
+        "functional_retired": functional_retired,
+        "functional_instructions_per_s": round(
+            functional_retired / max(functional_s, 1e-9)),
+    }
+
+
+def run_isa(args) -> int:
+    """``--isa``: record the kernel cross-validation trajectory."""
+    print(f"ISA kernel cross-validation (P8, scale={args.scale})...")
+    isa = bench_isa(args.scale)
+    print(f"  {len(isa['kernels'])} kernels all green "
+          f"({isa['checks_passed']}/{isa['checks_total']} checks), "
+          f"suite {isa['suite_wall_s']}s "
+          f"({isa['timed_instructions_per_s']:,} timed instr/s), "
+          f"functional reference {isa['functional_wall_s']}s "
+          f"({isa['functional_instructions_per_s']:,} instr/s)")
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "scale": args.scale,
+        "cores": os.cpu_count() or 1,
+        "python": sys.version.split()[0],
+        "isa": isa,
+    }
+    out = os.path.join(REPO_ROOT, "BENCH_isa.json")
+    history = {"records": []}
+    if os.path.exists(out):
+        try:
+            with open(out, "r", encoding="utf-8") as f:
+                history = json.load(f)
+        except (OSError, ValueError):
+            pass
+    history.setdefault("records", []).append(record)
+    with open(out, "w", encoding="utf-8") as f:
+        json.dump(history, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"appended record to {out}")
+    return 0
+
+
 def run_fastforward(args) -> int:
     """``--fastforward``: record sampled-mode speedup/accuracy numbers."""
     print(f"sampled simulation (P8 OLTP, scale={args.scale})...")
@@ -543,6 +650,9 @@ def main(argv=None) -> int:
                         help="only run the sampled-simulation speedup/"
                              "accuracy comparison (appends to "
                              "BENCH_fastforward.json)")
+    parser.add_argument("--isa", action="store_true",
+                        help="only run the ISA kernel cross-validation "
+                             "benchmark (appends to BENCH_isa.json)")
     args = parser.parse_args(argv)
 
     if args.observability:
@@ -551,6 +661,8 @@ def main(argv=None) -> int:
         return run_checkpoint(args)
     if args.fastforward:
         return run_fastforward(args)
+    if args.isa:
+        return run_isa(args)
 
     os.environ["REPRO_SCALE"] = str(args.scale)
     cores = os.cpu_count() or 1

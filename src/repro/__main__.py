@@ -38,6 +38,7 @@ import sys
 from .area import floorplan_summary
 from .core import CoherenceChecker, PRESETS, PiranhaSystem, preset, table1
 from .harness.report import breakdown_bar, format_table
+from .isa.kernels import KERNEL_NAMES, KernelWorkload, scaled_params
 from .workloads import (
     DssParams,
     DssWorkload,
@@ -62,6 +63,9 @@ WORKLOADS = {
         cpus_per_node=cpus, num_nodes=nodes),
     "migratory": lambda cpus, nodes, scale: MigratoryWrites(
         MicroParams(iterations=max(200, int(1000 * scale))),
+        cpus_per_node=cpus, num_nodes=nodes),
+    "isa": lambda cpus, nodes, scale: KernelWorkload(
+        scaled_params("spinlock", scale),
         cpus_per_node=cpus, num_nodes=nodes),
 }
 
@@ -684,6 +688,61 @@ def cmd_floorplan(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_xval(args: argparse.Namespace) -> int:
+    """``xval``: cross-validate the ISA kernels — functional reference
+    vs the timed machine — and print/emit the ``repro-xval/1`` report."""
+    import json
+
+    from .isa.validate import run_suite, validate_report
+
+    if args.check_report:
+        with open(args.check_report) as fh:
+            doc = json.load(fh)
+        problems = validate_report(doc)
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        if not problems:
+            print(f"{args.check_report}: valid {doc['schema']} report, "
+                  f"ok={doc['ok']}")
+        return 0 if not problems and doc.get("ok") else 1
+
+    kernels = KERNEL_NAMES if args.kernel == "all" else (args.kernel,)
+    seeds = tuple(range(args.seeds))
+    print(f"cross-validating {len(kernels)} kernel(s) on {args.nodes} x "
+          f"{args.config} (scale {args.scale}, {len(seeds)} functional "
+          f"seeds) ...")
+    doc = run_suite(kernels, config=args.config, nodes=args.nodes,
+                    scale=args.scale, seeds=seeds)
+    rows = []
+    for name, rep in doc["kernels"].items():
+        failed = [c["name"] for c in rep["checks"] if not c["ok"]]
+        rows.append([
+            name,
+            "yes" if rep["memory_match"] else "NO",
+            f"{sum(c['ok'] for c in rep['checks'])}/{len(rep['checks'])}",
+            f"{rep['timed']['units']}",
+            "PASS" if rep["ok"] else "FAIL: " + ",".join(failed or
+                                                         ["memory"]),
+        ])
+    print(format_table(
+        ["kernel", "mem bit-exact", "checks", "units", "verdict"], rows,
+        title=f"cross-validation ({doc['schema']})"))
+    summary = doc["summary"]
+    print(f"\n{summary['passed']}/{summary['kernels']} kernels passed, "
+          f"{summary['checks'] - summary['checks_failed']}/"
+          f"{summary['checks']} checks passed")
+    problems = validate_report(doc)
+    if problems:  # defensive: the suite's own invariants should hold
+        print(f"WARNING: report failed validation: {problems[0]}",
+              file=sys.stderr)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report written to {args.out}")
+    return 0 if doc["ok"] and not problems else 1
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
     """``list``: show available configurations and workloads."""
     print("configurations:", ", ".join(sorted(PRESETS)))
@@ -952,6 +1011,25 @@ def main(argv=None) -> int:
     cache_p.add_argument("--clear", action="store_true",
                          help="delete every cached result")
     cache_p.set_defaults(fn=cmd_cache)
+
+    xval_p = sub.add_parser(
+        "xval", help="cross-validate ISA kernels: functional reference "
+                     "vs the timed machine (repro-xval/1 report)")
+    xval_p.add_argument("--config", default="P8", choices=sorted(PRESETS))
+    xval_p.add_argument("--nodes", type=int, default=1)
+    xval_p.add_argument("--kernel", default="all",
+                        choices=("all",) + tuple(KERNEL_NAMES))
+    xval_p.add_argument("--scale", type=float, default=1.0,
+                        help="kernel iteration-count multiplier")
+    xval_p.add_argument("--seeds", type=int, default=3, metavar="N",
+                        help="functional interleaving seeds per kernel "
+                             "(images must agree across all of them)")
+    xval_p.add_argument("--out", metavar="PATH", default=None,
+                        help="write the repro-xval/1 JSON report here")
+    xval_p.add_argument("--check-report", metavar="PATH", default=None,
+                        help="validate an existing report file instead of "
+                             "running (exit 0 iff valid and ok)")
+    xval_p.set_defaults(fn=cmd_xval)
 
     sub.add_parser("table1", help="print Table 1").set_defaults(fn=cmd_table1)
     sub.add_parser("floorplan",

@@ -19,6 +19,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import preset, table1
+from ..isa.kernels import IsaKernelFactory
 from ..workloads.dss import DssParams, DssWorkload
 from ..workloads.micro import MicroParams, MigratoryWrites
 from ..workloads.oltp import OltpParams, OltpWorkload
@@ -119,6 +120,7 @@ FACTORIES = {
     "tpcc": TpccFactory,
     "web": WebFactory,
     "migratory": MigratoryFactory,
+    "isa": IsaKernelFactory,
 }
 
 #: units attribute measured per workload
@@ -128,6 +130,7 @@ UNITS_ATTR = {
     "tpcc": "transactions",
     "web": "queries",
     "migratory": "iterations",
+    "isa": "iterations",
 }
 
 

@@ -48,6 +48,23 @@ def _parse_int(token: str, lineno: int) -> int:
         raise AssemblyError(lineno, f"expected integer, got {token!r}") from None
 
 
+def _check_disp(disp: int, bits: int, what: str, lineno: int) -> int:
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if not lo <= disp <= hi:
+        raise AssemblyError(
+            lineno, f"{what} displacement {disp} outside [{lo}, {hi}]")
+    return disp
+
+
+def _instr(lineno: int, *args, **kwargs) -> Instruction:
+    """Instruction constructor that reports operand-range errors (bad
+    register index, oversized literal) against the source line."""
+    try:
+        return Instruction(*args, **kwargs)
+    except ValueError as exc:
+        raise AssemblyError(lineno, str(exc)) from None
+
+
 def assemble(source: str) -> List[int]:
     """Assemble *source* into a list of 32-bit instruction words."""
     lines = source.splitlines()
@@ -87,9 +104,11 @@ def assemble(source: str) -> List[int]:
         if fmt == Format.MEMORY:
             if mnem == Mnemonic.WH64 and len(args) == 1 and _MEM_RE.match(args[0]):
                 m = _MEM_RE.match(args[0])
-                instr = Instruction(mnem, ra=ZERO_REG,
-                                    rb=_parse_reg(m.group(2), lineno),
-                                    disp=_parse_int(m.group(1), lineno))
+                instr = _instr(lineno, mnem, ra=ZERO_REG,
+                               rb=_parse_reg(m.group(2), lineno),
+                               disp=_check_disp(
+                                   _parse_int(m.group(1), lineno),
+                                   16, "memory", lineno))
             else:
                 if len(args) != 2:
                     raise AssemblyError(lineno, f"{mnem_token} needs 'ra, disp(rb)'")
@@ -97,9 +116,11 @@ def assemble(source: str) -> List[int]:
                 m = _MEM_RE.match(args[1])
                 if not m:
                     raise AssemblyError(lineno, f"bad address operand {args[1]!r}")
-                instr = Instruction(mnem, ra=ra,
-                                    rb=_parse_reg(m.group(2), lineno),
-                                    disp=_parse_int(m.group(1), lineno))
+                instr = _instr(lineno, mnem, ra=ra,
+                               rb=_parse_reg(m.group(2), lineno),
+                               disp=_check_disp(
+                                   _parse_int(m.group(1), lineno),
+                                   16, "memory", lineno))
         elif fmt == Format.BRANCH:
             if mnem == Mnemonic.BR:
                 if len(args) != 1:
@@ -113,27 +134,29 @@ def assemble(source: str) -> List[int]:
                 disp = labels[target] - (pc + 1)
             else:
                 disp = _parse_int(target, lineno)
-            instr = Instruction(mnem, ra=ra, disp=disp)
+            instr = _instr(lineno, mnem, ra=ra,
+                           disp=_check_disp(disp, 21, "branch", lineno))
         elif fmt == Format.OPERATE:
             if len(args) != 3:
                 raise AssemblyError(lineno, f"{mnem_token} needs 'ra, rb|#lit, rc'")
             ra = _parse_reg(args[0], lineno)
             rc = _parse_reg(args[2], lineno)
             if args[1].startswith("#"):
-                instr = Instruction(mnem, ra=ra, rc=rc,
-                                    literal=_parse_int(args[1][1:], lineno))
+                instr = _instr(lineno, mnem, ra=ra, rc=rc,
+                               literal=_parse_int(args[1][1:], lineno))
             else:
-                instr = Instruction(mnem, ra=ra,
-                                    rb=_parse_reg(args[1], lineno), rc=rc)
+                instr = _instr(lineno, mnem, ra=ra,
+                               rb=_parse_reg(args[1], lineno), rc=rc)
         else:  # MISC
             if mnem == Mnemonic.JMP:
                 if len(args) != 1:
                     raise AssemblyError(lineno, "jmp needs '(rb)' or rb")
                 token = args[0].strip("()")
-                instr = Instruction(mnem, rb=_parse_reg(token, lineno))
+                instr = _instr(lineno, mnem,
+                               rb=_parse_reg(token, lineno))
             elif len(args) != 0:
                 raise AssemblyError(lineno, f"{mnem_token} takes no operands")
             else:
-                instr = Instruction(mnem)
+                instr = _instr(lineno, mnem)
         words.append(encode(instr))
     return words

@@ -255,9 +255,10 @@ class IsaThread:
         self.cpu = cpu
         self.max_instructions = max_instructions
         self.name = f"isa-agent{cpu.agent}"
+        self._iter: Optional[Iterator] = None
 
-    def __iter__(self) -> Iterator:
-        return self._gen()
+    def __iter__(self) -> "IsaThread":
+        return self
 
     def _gen(self) -> Iterator:
         count = 0
@@ -279,8 +280,13 @@ class IsaThread:
                 yield (0, op.kind, op.addr, True)
 
 
-    def __next__(self):  # pragma: no cover - iterator protocol helper
-        raise TypeError("iterate IsaThread via iter()")
+    def __next__(self):
+        # a true iterator: the underlying generator is created lazily on
+        # the first next() so construction stays side-effect-free, and
+        # __iter__ can return self (one instruction stream per thread)
+        if self._iter is None:
+            self._iter = self._gen()
+        return next(self._iter)
 
 
 def make_isa_workload(programs, memory: Optional[SharedMemory] = None,

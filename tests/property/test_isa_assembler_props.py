@@ -1,0 +1,125 @@
+"""Property-based tests for the two-pass assembler (satellite of the
+ISA kernel suite): text round-trips, label displacement arithmetic, and
+error reporting with accurate line numbers."""
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import AssemblyError, Mnemonic, assemble, decode
+from repro.isa.encoding import FORMATS, Format
+
+regs = st.integers(min_value=0, max_value=31)
+mem_disp = st.integers(min_value=-32768, max_value=32767)
+literals = st.integers(min_value=0, max_value=255)
+operate_mnems = st.sampled_from(
+    [m for m in Mnemonic if FORMATS[m] == Format.OPERATE])
+branch_mnems = st.sampled_from(
+    [m for m in Mnemonic
+     if FORMATS[m] == Format.BRANCH and m != Mnemonic.BR])
+# padding blocks that cost exactly one instruction word each
+padding = st.sampled_from(["nop", "addq r1, r2, r3", "mb",
+                           "ldq r4, 16(r5)"])
+
+
+class TestSourceRoundtrip:
+    @given(operate_mnems, regs, regs, regs)
+    def test_operate_register_text(self, mnem, ra, rb, rc):
+        words = assemble(f"{mnem.value} r{ra}, r{rb}, r{rc}")
+        instr = decode(words[0])
+        assert (instr.mnem, instr.ra, instr.rb, instr.rc) == \
+            (mnem, ra, rb, rc)
+        assert instr.literal is None
+
+    @given(operate_mnems, regs, literals, regs)
+    def test_operate_literal_text(self, mnem, ra, lit, rc):
+        words = assemble(f"{mnem.value} r{ra}, #{lit}, r{rc}")
+        instr = decode(words[0])
+        assert (instr.mnem, instr.ra, instr.literal, instr.rc) == \
+            (mnem, ra, lit, rc)
+
+    @given(st.sampled_from([Mnemonic.LDQ, Mnemonic.STQ, Mnemonic.LDQ_L,
+                            Mnemonic.STQ_C, Mnemonic.LDA]),
+           regs, regs, mem_disp)
+    def test_memory_text(self, mnem, ra, rb, disp):
+        words = assemble(f"{mnem.value} r{ra}, {disp}(r{rb})")
+        instr = decode(words[0])
+        assert (instr.mnem, instr.ra, instr.rb, instr.disp) == \
+            (mnem, ra, rb, disp)
+
+    @given(regs, mem_disp)
+    def test_wh64_single_operand_text(self, rb, disp):
+        instr = decode(assemble(f"wh64 {disp}(r{rb})")[0])
+        assert (instr.mnem, instr.rb, instr.disp) == \
+            (Mnemonic.WH64, rb, disp)
+
+    @given(st.lists(padding, max_size=6))
+    def test_comments_and_blanks_are_free(self, pads):
+        source = "\n".join(["; leading comment", ""]
+                           + [f"  {p}  ; trailing" for p in pads])
+        assert len(assemble(source)) == len(pads)
+
+
+class TestLabelDisplacement:
+    @given(branch_mnems, regs, st.lists(padding, max_size=10))
+    def test_forward_branch(self, mnem, ra, pads):
+        """disp is relative to the *following* instruction, so skipping
+        k padding instructions encodes disp == k."""
+        source = "\n".join([f"{mnem.value} r{ra}, target"] + list(pads)
+                           + ["target:", "halt"])
+        instr = decode(assemble(source)[0])
+        assert instr.mnem == mnem and instr.disp == len(pads)
+
+    @given(branch_mnems, regs, st.lists(padding, max_size=10))
+    def test_backward_branch(self, mnem, ra, pads):
+        """Branching back over itself plus k pads encodes -(k+1)."""
+        source = "\n".join(["target:"] + list(pads)
+                           + [f"{mnem.value} r{ra}, target", "halt"])
+        words = assemble(source)
+        instr = decode(words[len(pads)])
+        assert instr.mnem == mnem and instr.disp == -(len(pads) + 1)
+
+    @given(st.lists(padding, max_size=8))
+    def test_branch_to_next_instruction_is_zero(self, pads):
+        source = "\n".join(list(pads) + ["br next", "next:", "halt"])
+        instr = decode(assemble(source)[len(pads)])
+        assert instr.mnem == Mnemonic.BR and instr.disp == 0
+
+    @given(st.lists(padding, min_size=1, max_size=8))
+    def test_functional_effect_of_forward_branch(self, pads):
+        """The skipped padding must really be skipped when executed."""
+        from repro.isa import FunctionalCpu, SharedMemory
+
+        source = "\n".join(["br done"]
+                           + ["addq r1, #1, r1" for _ in pads]
+                           + ["done:", "halt"])
+        cpu = FunctionalCpu(assemble(source), SharedMemory())
+        state = cpu.run()
+        assert state.regs[1] == 0
+        assert state.instructions_retired == 2
+
+
+class TestErrorLineNumbers:
+    @given(st.lists(padding, max_size=6),
+           st.sampled_from(["frobnicate r1, r2, r3",
+                            "addq r1, r2",
+                            "addq r1, #256, r3",
+                            "ldq r1, 70000(r2)",
+                            "br nowhere",
+                            "addq r32, r1, r2"]))
+    def test_lineno_points_at_bad_line(self, pads, bad):
+        good = list(pads) + ["halt"]
+        for position in range(len(good) + 1):
+            source = "\n".join(good[:position] + [bad] + good[position:])
+            with pytest.raises(AssemblyError) as exc_info:
+                assemble(source)
+            assert exc_info.value.lineno == position + 1
+            assert str(position + 1) in str(exc_info.value)
+
+    def test_duplicate_label_reports_second_site(self):
+        with pytest.raises(AssemblyError) as exc_info:
+            assemble("dup:\nnop\ndup:\nhalt")
+        assert exc_info.value.lineno == 3

@@ -26,6 +26,7 @@ import pytest
 from repro.harness import Job, run_jobs
 from repro.harness.experiments import DssFactory, OltpFactory
 from repro.harness.runner import run_workload
+from repro.isa.kernels import IsaKernelFactory, IsaKernelParams
 from repro.workloads import DssParams, OltpParams
 
 GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden",
@@ -35,12 +36,21 @@ GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden",
 #: default-parameter drift cannot reach them
 OLTP_Q = OltpParams(transactions=20, warmup_transactions=38)
 DSS_Q = DssParams(rows=65, warmup_rows=10)
+ISA_MEMCPY = IsaKernelParams(kernel="memcpy", iterations=8)
+ISA_SPINLOCK = IsaKernelParams(kernel="spinlock", iterations=4)
 
+#: name -> (config, factory, units_attr, num_nodes)
 CANONICAL = {
-    "P1-oltp": ("P1", OltpFactory(OLTP_Q), "transactions"),
-    "P8-oltp": ("P8", OltpFactory(OLTP_Q), "transactions"),
-    "P1-dss": ("P1", DssFactory(DSS_Q), "rows"),
-    "P8-dss": ("P8", DssFactory(DSS_Q), "rows"),
+    "P1-oltp": ("P1", OltpFactory(OLTP_Q), "transactions", 1),
+    "P8-oltp": ("P8", OltpFactory(OLTP_Q), "transactions", 1),
+    "P1-dss": ("P1", DssFactory(DSS_Q), "rows", 1),
+    "P8-dss": ("P8", DssFactory(DSS_Q), "rows", 1),
+    # real code through the machine: single-CPU private kernel and a
+    # 32-CPU cross-node lock — the ISA path is bit-stability-gated too
+    "P1-isa-memcpy": ("P1", IsaKernelFactory(ISA_MEMCPY),
+                      "iterations", 1),
+    "P8x4-isa-spinlock": ("P8", IsaKernelFactory(ISA_SPINLOCK),
+                          "iterations", 4),
 }
 
 
@@ -55,8 +65,8 @@ def payload_digest(result) -> str:
 
 
 def run_point(name: str):
-    config, factory, units = CANONICAL[name]
-    return run_workload(config, factory, num_nodes=1, units_attr=units)
+    config, factory, units, nodes = CANONICAL[name]
+    return run_workload(config, factory, num_nodes=nodes, units_attr=units)
 
 
 def load_golden() -> dict:
@@ -92,9 +102,9 @@ def test_golden_digest_parallel_jobs(monkeypatch):
 
     monkeypatch.setenv("REPRO_NO_CACHE", "1")
     golden = load_golden()
-    names = ["P1-oltp", "P1-dss"]  # the cheap points: workers re-simulate
+    names = ["P1-oltp", "P1-isa-memcpy"]  # cheap points: workers re-simulate
     jobs = [Job(config=preset(CANONICAL[n][0]), factory=CANONICAL[n][1],
-                num_nodes=1, units_attr=CANONICAL[n][2])
+                num_nodes=CANONICAL[n][3], units_attr=CANONICAL[n][2])
             for n in names]
     results = run_jobs(jobs, jobs=2)
     for name, result in zip(names, results):
