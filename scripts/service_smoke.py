@@ -1,0 +1,190 @@
+#!/usr/bin/env python
+"""CI smoke test for the simulation service (`repro serve`).
+
+Exercises the full multi-client choreography against a real server
+subprocess (the CLI path, not the in-process test harness):
+
+1. start ``python -m repro serve`` on a throwaway store root with 2
+   workers and an ephemeral port (clients discover it via
+   ``server.json``);
+2. submit a quarter-scale sweep from **4 concurrent clients, 2 of them
+   duplicates** — asserts both duplicates resolve as dedupe followers
+   (hit rate ≥ 0.5) and every job finishes DONE;
+3. attach a subscriber to a leader *while it runs* and assert it
+   streams live records through to ``run_end``;
+4. submit a high-priority job while both worker slots are busy —
+   asserts **one full preemption round-trip** (victim suspends, the
+   high-priority job finishes first, the victim resumes and completes);
+5. ``POST /shutdown`` and assert the server exits cleanly (code 0,
+   address manifest removed).
+
+Exits non-zero on any violated invariant; prints a one-line JSON
+summary on success.
+
+Usage::
+
+    PYTHONPATH=src python scripts/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.service.client import ServiceClient  # noqa: E402
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> int:
+    root = tempfile.mkdtemp(prefix="repro-service-smoke-")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    env.pop("REPRO_NO_CACHE", None)
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--root", root,
+         "--workers", "2"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+    try:
+        client = ServiceClient(root=root, timeout_s=30)
+
+        # -- 4 concurrent clients, 2 duplicates ---------------------------
+        sweep = {"kind": "sweep", "workload": "oltp", "config": "P2",
+                 "scale": 0.25, "field": "l2.size_bytes",
+                 "values": ["512K", "1M"], "preempt_every_us": 5.0}
+        specs = [sweep, dict(sweep, config="P4"),
+                 sweep, dict(sweep, config="P4")]  # 2 distinct + 2 dupes
+        submitted: list = [None] * len(specs)
+
+        def submit(i: int) -> None:
+            # each client owns its own connection (per-request HTTP)
+            submitted[i] = ServiceClient(root=root).submit(specs[i])
+
+        clients = [threading.Thread(target=submit, args=(i,))
+                   for i in range(len(specs))]
+        for t in clients:
+            t.start()
+        for t in clients:
+            t.join()
+        if any(doc is None for doc in submitted):
+            fail("a concurrent submission failed")
+        ids = [doc["job_id"] for doc in submitted]
+        by_key: dict = {}
+        for doc in submitted:
+            by_key.setdefault(doc["dedupe_key"], []).append(doc)
+        if sorted(len(docs) for docs in by_key.values()) != [2, 2]:
+            fail(f"expected 2+2 submissions per spec, got {by_key}")
+
+        # -- live subscriber on a leader ----------------------------------
+        leaders = [docs[0] for docs in by_key.values()]
+        deadline = time.monotonic() + 60
+        watched = None
+        while time.monotonic() < deadline and watched is None:
+            for doc in leaders:
+                if client.job(doc["job_id"])["state"] == "RUNNING":
+                    watched = doc["job_id"]
+                    break
+            time.sleep(0.05)
+        if watched is None:
+            fail("no leader ever reached RUNNING")
+        live_kinds: list = []
+
+        def subscribe() -> None:
+            for record in ServiceClient(root=root).attach(watched):
+                live_kinds.append(record["kind"])
+
+        subscriber = threading.Thread(target=subscribe)
+        subscriber.start()
+
+        # -- preemption round-trip ----------------------------------------
+        # both slots hold priority-0 sweeps; a priority-10 arrival must
+        # preempt one at its next point boundary
+        high = client.submit({"kind": "run", "workload": "migratory",
+                              "config": "P8", "scale": 1.0,
+                              "tag": "smoke-high"}, priority=10)
+        final_high = client.wait(high["job_id"], timeout_s=120)
+        if final_high["state"] != "DONE":
+            fail(f"high-priority job finished {final_high['state']}")
+
+        finals = [client.wait(i, timeout_s=300) for i in ids]
+        bad = [f["job_id"] for f in finals if f["state"] != "DONE"]
+        if bad:
+            fail(f"jobs did not finish DONE: {bad}")
+        if final_high["finished_wall"] > max(f["finished_wall"]
+                                             for f in finals):
+            fail("high-priority job finished after the low-priority pool")
+
+        subscriber.join(timeout=60)
+        if subscriber.is_alive():
+            fail("subscriber never saw run_end")
+        if live_kinds[-1] != "run_end" or "sweep_point" not in live_kinds:
+            fail(f"subscriber stream incomplete: {live_kinds}")
+
+        stats = client.stats()
+        counters = stats["counters"]
+        # hit rate over the 4 sweep clients: the 2 duplicates must have
+        # resolved as followers, not as independent simulations
+        dupes = [f for f in finals if f.get("dedup_of")]
+        hit_rate = len(dupes) / len(finals)
+        if hit_rate < 0.5:
+            fail(f"dedupe hit rate {hit_rate:.2f} < 0.5 "
+                 f"(finals: {[(f['job_id'], f.get('dedup_of')) for f in finals]})")
+        if counters["dedupe_hits"] < len(dupes):
+            fail(f"server counters disagree with manifests: {counters}")
+        if counters["preemptions"] < 1 or counters["resumes"] < 1:
+            fail(f"no preemption round-trip observed: {counters}")
+        preempted = [f for f in finals if f["preemptions"] >= 1]
+        if not preempted:
+            fail("no sweep job recorded a preemption")
+        kinds = [r["kind"]
+                 for r in client.attach(preempted[0]["job_id"])]
+        if "job_preempted" not in kinds or "job_resumed" not in kinds:
+            fail(f"victim telemetry missing round-trip records: {kinds}")
+
+        # -- clean shutdown -----------------------------------------------
+        client.shutdown()
+        try:
+            code = server.wait(timeout=90)
+        except subprocess.TimeoutExpired:
+            server.kill()
+            fail("server did not exit within 90s of /shutdown")
+        if code != 0:
+            fail(f"server exited {code}")
+        manifest = os.path.join(root, "service", "server.json")
+        if os.path.exists(manifest):
+            fail("server.json still present after clean shutdown")
+
+        print(json.dumps({
+            "ok": True,
+            "jobs": len(ids) + 1,
+            "dedupe_hit_rate": round(hit_rate, 3),
+            "preemptions": counters["preemptions"],
+            "resumes": counters["resumes"],
+            "live_records": len(live_kinds),
+        }))
+        return 0
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait()
+        out = server.stdout.read() if server.stdout else ""
+        if out.strip():
+            print("-- server log --\n" + out, file=sys.stderr)
+        shutil.rmtree(root, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

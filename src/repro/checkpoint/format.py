@@ -155,9 +155,21 @@ def validate_manifest(manifest: Dict[str, Any], *,
 
 
 def write_checkpoint(path: str, manifest: Dict[str, Any],
-                     payload: bytes) -> None:
-    """Atomically write a checkpoint file (tmp + rename)."""
+                     payload: bytes, exclusive: bool = False) -> bool:
+    """Atomically write a checkpoint file (tmp + rename); True if written.
+
+    ``exclusive=True`` routes through the shared file-lock + write-if-
+    absent primitive (:func:`repro.harness.cache.locked_exclusive_write`)
+    the digest-keyed stores use: concurrent workers producing the same
+    key leave exactly one entry, first writer wins.  The default
+    overwrites — explicit user paths (``repro checkpoint save --out``)
+    and per-job suspend snapshots legitimately replace older content.
+    """
     blob = encode(manifest, payload)
+    if exclusive:
+        from ..harness.cache import locked_exclusive_write
+
+        return locked_exclusive_write(path, blob)
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     fd, tmp = tempfile.mkstemp(dir=directory, suffix=".ckpt.tmp")
@@ -171,6 +183,7 @@ def write_checkpoint(path: str, manifest: Dict[str, Any],
         except OSError:
             pass
         raise
+    return True
 
 
 def read_checkpoint(path: str) -> Tuple[Dict[str, Any], bytes]:

@@ -117,11 +117,22 @@ class WarmStore:
         return manifest, payload
 
     def put(self, key: Optional[str], manifest: Dict[str, Any],
-            payload: bytes) -> None:
-        """Store a snapshot (atomic; no-op when caching is disabled)."""
+            payload: bytes) -> bool:
+        """Store a snapshot; True if this call created the entry.
+
+        Writes are locked and first-writer-wins
+        (:func:`repro.harness.cache.locked_exclusive_write`): snapshots
+        are deterministic functions of their key, so when concurrent
+        service workers race on the same warm boundary the loser's
+        payload is byte-identical and skipping it is the dedupe.
+        """
         if key is None or not cache_enabled():
-            return
-        ckpt_format.write_checkpoint(self._file(key), manifest, payload)
+            return False
+        try:
+            return ckpt_format.write_checkpoint(
+                self._file(key), manifest, payload, exclusive=True)
+        except OSError:
+            return False
 
     def info(self) -> Dict[str, Any]:
         entries = 0

@@ -38,7 +38,75 @@ import os
 import tempfile
 from typing import Any, Dict, Optional
 
+try:  # POSIX advisory locks; on platforms without fcntl the atomic
+    import fcntl  # rename alone still protects readers from torn entries
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
 _FINGERPRINT: Optional[str] = None
+
+
+class FileLock:
+    """Advisory exclusive lock on ``path + ".lock"`` (context manager).
+
+    Serialises *writers* of a shared cache/store entry across processes:
+    the artifact store, the disk result cache and the checkpoint store
+    all take the entry's lock around their write-if-absent sequence, so
+    two workers producing the same digest cannot interleave — the first
+    writer wins and the second observes the finished entry.  Readers
+    never lock: atomic tmp+rename guarantees they see old-or-new, never
+    a torn file.
+
+    On platforms without :mod:`fcntl` the lock degrades to a no-op;
+    rename atomicity still holds, only first-writer-wins does not.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path + ".lock"
+        self._fh = None
+
+    def __enter__(self) -> "FileLock":
+        os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+        if fcntl is not None:
+            self._fh = open(self.path, "a+b")
+            fcntl.flock(self._fh.fileno(), fcntl.LOCK_EX)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._fh is not None:
+            fcntl.flock(self._fh.fileno(), fcntl.LOCK_UN)
+            self._fh.close()
+            self._fh = None
+
+
+def locked_exclusive_write(path: str, data: bytes) -> bool:
+    """Write *data* to *path* iff no entry exists yet; True if written.
+
+    The content-addressed write primitive shared by the result cache,
+    the warm-checkpoint store and the service artifact store: take the
+    entry lock, re-check existence (another worker may have won the
+    race while we waited), then tmp+rename inside the lock.  Returns
+    False when the entry already existed — the caller's payload is
+    byte-identical by key construction, so losing the race *is* the
+    dedupe hit.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with FileLock(path):
+        if os.path.exists(path):
+            return False
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                f.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    return True
 
 
 def cache_enabled() -> bool:
@@ -150,8 +218,20 @@ def result_key(config, factory, num_nodes: int, units_attr: str,
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
+#: Subdirectories of the cache root owned by sibling stores (warm
+#: checkpoints, the service artifact store, the server's job state).
+#: DiskCache walks must not count — and ``clear()`` must never delete —
+#: their entries.
+RESERVED_SUBDIRS = frozenset({"checkpoints", "artifacts", "service"})
+
+
 class DiskCache:
-    """A directory of JSON-serialised :class:`RunResult` records."""
+    """A directory of JSON-serialised :class:`RunResult` records.
+
+    The cache root is shared with the warm-checkpoint store and the
+    service artifact store (one digest-addressed tree, see
+    :class:`repro.service.store.ArtifactStore`); this class only ever
+    touches its own top-level ``<d2>/<key>.json`` entries."""
 
     def __init__(self, path: Optional[str] = None) -> None:
         self._path = path
@@ -182,30 +262,32 @@ class DiskCache:
         self.hits += 1
         return result
 
-    def put(self, key: Optional[str], result) -> None:
-        """Store *result* under *key* (atomic; no-op when disabled)."""
+    def put(self, key: Optional[str], result) -> bool:
+        """Store *result* under *key* (locked, atomic, first-writer-wins).
+
+        Returns True when this call created the entry, False when it was
+        disabled, unkeyable, or another worker already stored the same
+        digest (results are deterministic functions of the key, so the
+        existing entry is byte-equivalent — skipping the write is the
+        dedupe, not a loss).
+        """
         if key is None or not cache_enabled():
-            return
-        path = self._file(key)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
+            return False
         payload = {"result": dataclasses.asdict(result)}
-        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        data = json.dumps(payload, sort_keys=True).encode("utf-8")
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as f:
-                json.dump(payload, f, sort_keys=True)
-            os.replace(tmp, path)
+            return locked_exclusive_write(self._file(key), data)
         except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+            return False
 
     def info(self) -> Dict[str, Any]:
         """Entry count / size / hit counters (for ``python -m repro cache``)."""
         entries = 0
         size = 0
         if os.path.isdir(self.path):
-            for root, _dirs, files in os.walk(self.path):
+            for root, dirs, files in os.walk(self.path):
+                if root == self.path:
+                    dirs[:] = [d for d in dirs if d not in RESERVED_SUBDIRS]
                 for fname in files:
                     if fname.endswith(".json"):
                         entries += 1
@@ -218,10 +300,17 @@ class DiskCache:
                 "enabled": cache_enabled()}
 
     def clear(self) -> int:
-        """Delete every cached entry; returns the number removed."""
+        """Delete every cached result; returns the number removed.
+
+        Sibling stores under the same root (warm checkpoints, service
+        artifacts, job state) are deliberately left alone — clearing
+        *results* must not discard state that is far more expensive to
+        rebuild or that a live server depends on."""
         removed = 0
         if os.path.isdir(self.path):
-            for root, _dirs, files in os.walk(self.path):
+            for root, dirs, files in os.walk(self.path):
+                if root == self.path:
+                    dirs[:] = [d for d in dirs if d not in RESERVED_SUBDIRS]
                 for fname in files:
                     if fname.endswith(".json"):
                         try:

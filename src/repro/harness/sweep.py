@@ -32,6 +32,27 @@ from .parallel import Job, run_jobs
 from .runner import RunResult, run_configured
 
 
+def parse_sweep_value(text: str):
+    """Parse one swept value: int (with K/M/G suffix), float, or string.
+
+    Shared by the CLI ``sweep`` verb and the service worker, so a sweep
+    submitted over the wire (values as strings) resolves to exactly the
+    values the equivalent command line would."""
+    text = text.strip()
+    suffixes = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30}
+    if text and text[-1].upper() in suffixes:
+        try:
+            return int(float(text[:-1]) * suffixes[text[-1].upper()])
+        except ValueError:
+            pass
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
 def replace_field(config: ChipConfig, dotted: str, value) -> ChipConfig:
     """Return a config with ``dotted`` (e.g. ``"l2.size_bytes"`` or
     ``"core.clock_mhz"``) replaced by *value*."""

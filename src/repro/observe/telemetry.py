@@ -23,12 +23,28 @@ Record kinds, all carrying ``{"kind": ..., "wall": <unix seconds>}``:
     a periodic checkpointer capture (simulated time + snapshot size).
 ``run_end``
     terminal record with exit summary; ``repro watch`` stops here.
+``job_queued`` / ``job_preempted`` / ``job_resumed``
+    service lifecycle markers (see :mod:`repro.service`): the job
+    entered the server queue, was checkpoint-suspended for a
+    higher-priority job, or resumed from its suspend snapshot.  They
+    ride the same per-job stream as the run records, so a subscriber
+    attached via ``repro attach`` sees scheduling and simulation
+    progress interleaved in causal order.
 
 Streams are host-side observers: they are never part of the
 deterministic result payload, never pickled into checkpoints (the
 sampler's ``state_dict`` strips its ``on_record`` hook), and their
 settings fold into the result-cache key only as an enable marker — a
 cache hit answers without re-streaming, which the CLI reports.
+
+Readers are torn-line safe: the writer flushes whole lines, but a
+reader polling the file can still observe a *partial* final line —
+including one cut mid-way through a multi-byte UTF-8 sequence, which a
+text-mode read would turn into a :class:`UnicodeDecodeError` rather
+than a skippable bad line.  Both :func:`read_records` and
+:func:`follow_records` therefore read *bytes*, split on newlines, and
+decode/parse only complete lines; the unfinished tail is retried on the
+next poll instead of raised.
 """
 
 from __future__ import annotations
@@ -43,15 +59,22 @@ Target = Union[str, int, io.IOBase]
 
 
 class TelemetryStream:
-    """Writes telemetry records as JSON lines to a path, fd, or file."""
+    """Writes telemetry records as JSON lines to a path, fd, or file.
 
-    def __init__(self, target: Target) -> None:
+    *append* opens a path target in append mode instead of truncating —
+    a resumed service job continues the telemetry stream its suspended
+    incarnation started, so subscribers see one continuous record
+    sequence across a preempt/resume round-trip.
+    """
+
+    def __init__(self, target: Target, append: bool = False) -> None:
         self._owns = False
+        mode = "a" if append else "w"
         if isinstance(target, str):
-            self._fh = open(target, "w", encoding="utf-8")
+            self._fh = open(target, mode, encoding="utf-8")
             self._owns = True
         elif isinstance(target, int):
-            self._fh = os.fdopen(target, "w", encoding="utf-8")
+            self._fh = os.fdopen(target, mode, encoding="utf-8")
             self._owns = True
         else:
             self._fh = target
@@ -72,6 +95,19 @@ class TelemetryStream:
         self.emit("interval", **record)
 
     def close(self) -> None:
+        """Flush (always) and close (if this stream opened the handle).
+
+        The flush covers non-owned targets too: a caller handing in a
+        buffered file object gets its terminal ``run_end`` pushed to
+        disk here even if it never closes the handle itself — a watcher
+        tailing the file must not hang on a finished stream whose last
+        line is stuck in a userspace buffer.
+        """
+        if not self._fh.closed:
+            try:
+                self._fh.flush()
+            except (OSError, ValueError):
+                pass
         if self._owns and not self._fh.closed:
             self._fh.close()
 
@@ -82,24 +118,42 @@ class TelemetryStream:
         self.close()
 
 
-# -- consumption (repro watch) -------------------------------------------
+# -- consumption (repro watch / repro attach) ----------------------------
+
+def parse_line(line: bytes) -> Optional[Dict[str, object]]:
+    """Decode and parse one raw JSONL line; None for blank/torn lines.
+
+    Tolerates every way a racing reader can catch the writer mid-line:
+    truncated JSON, a half-written multi-byte UTF-8 sequence, or a line
+    that is not a JSON object at all.  The caller retries torn lines on
+    its next poll (:func:`follow_records`) or simply skips them
+    (:func:`read_records`).
+    """
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        record = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    return record if isinstance(record, dict) else None
+
 
 def read_records(path: str) -> List[Dict[str, object]]:
     """Parse every complete record currently in the file.  A partially
-    written trailing line (reader racing the writer) is skipped."""
+    written trailing line (reader racing the writer) is skipped — the
+    file is read as bytes, so a line cut inside a multi-byte UTF-8
+    sequence skips like any other torn line instead of raising."""
     records: List[Dict[str, object]] = []
     try:
-        with open(path, "r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    records.append(json.loads(line))
-                except json.JSONDecodeError:
-                    continue
+        with open(path, "rb") as fh:
+            data = fh.read()
     except FileNotFoundError:
-        pass
+        return records
+    for line in data.split(b"\n"):
+        record = parse_line(line)
+        if record is not None:
+            records.append(record)
     return records
 
 
@@ -109,29 +163,31 @@ def follow_records(path: str, timeout_s: float = 30.0,
 
     Stops at a ``run_end`` record, or after *timeout_s* with no new
     record (covers a writer that died without a terminal record).
+
+    The file is polled in *binary* mode with only complete lines
+    decoded: a partially-flushed final line — even one split inside a
+    multi-byte UTF-8 character, which a text-mode read would raise on —
+    stays buffered as the unfinished tail and is re-parsed once the
+    writer completes it.
     """
     offset = 0
     deadline = time.monotonic() + timeout_s
-    buf = ""
+    buf = b""
     while True:
         try:
-            with open(path, "r", encoding="utf-8") as fh:
+            with open(path, "rb") as fh:
                 fh.seek(offset)
                 chunk = fh.read()
                 offset = fh.tell()
         except FileNotFoundError:
-            chunk = ""
+            chunk = b""
         if chunk:
             deadline = time.monotonic() + timeout_s
             buf += chunk
-            while "\n" in buf:
-                line, buf = buf.split("\n", 1)
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
+            while b"\n" in buf:
+                line, buf = buf.split(b"\n", 1)
+                record = parse_line(line)
+                if record is None:
                     continue
                 yield record
                 if record.get("kind") == "run_end":
@@ -176,4 +232,17 @@ def render_record(record: Dict[str, object]) -> str:
         return (f"run_end  items={record.get('items')}  "
                 f"sim_wall_s={record.get('sim_wall_s', 0):.2f}"
                 + ("  (cached)" if record.get("cached") else ""))
+    if kind == "job_queued":
+        return (f"job_queued  job={record.get('job_id')} "
+                f"priority={record.get('priority')} "
+                f"kind={record.get('job_kind')}"
+                + (f"  dedup_of={record.get('dedup_of')}"
+                   if record.get("dedup_of") else ""))
+    if kind == "job_preempted":
+        return (f"job_preempted  job={record.get('job_id')}  "
+                f"t={record.get('sim_now', 0) / 1e6:.1f}us  "
+                f"by={record.get('by')}")
+    if kind == "job_resumed":
+        return (f"job_resumed  job={record.get('job_id')}  "
+                f"t={record.get('sim_now', 0) / 1e6:.1f}us")
     return json.dumps(record)

@@ -1,0 +1,42 @@
+"""Simulation-as-a-service: async job server + deduplicating store.
+
+This package promotes the one-shot CLI harness into a long-running
+multi-tenant service (ROADMAP "simulation-as-a-service"):
+
+:mod:`~repro.service.store`
+    :class:`ArtifactStore` — one digest-addressed root unifying the
+    PR 1 disk result-cache, the PR 5 warm-checkpoint store and a new
+    content-addressed job-artifact area, all sharing the locked
+    first-writer-wins write path so concurrent workers dedupe safely.
+:mod:`~repro.service.queue`
+    :class:`JobQueue` / :class:`JobRecord` — the priority queue and the
+    per-job on-disk manifests a crash-restarted server recovers from.
+:mod:`~repro.service.worker`
+    the job executor subprocess (``python -m repro.service.worker``):
+    runs one run/sweep/fuzz/xval job, streams telemetry, and suspends
+    to a checkpoint when the server requests preemption.
+:mod:`~repro.service.server`
+    the asyncio job server: REST + line-JSON API, scheduler with
+    priority preemption, worker pool, live subscriber streaming.
+:mod:`~repro.service.client`
+    :class:`ServiceClient` — the stdlib HTTP client behind
+    ``repro submit`` / ``repro jobs`` / ``repro attach``.
+
+Everything is stdlib-only (``asyncio`` + ``http.client``); the wire
+format is JSON bodies plus newline-delimited JSON for event streams.
+"""
+
+from __future__ import annotations
+
+from .queue import (JOB_STATES, JobQueue, JobRecord, dedupe_key_for,
+                    normalize_spec)
+from .store import ArtifactStore
+from .worker import (EXIT_DONE, EXIT_FAILED, EXIT_SUSPENDED, PreemptGuard,
+                     execute_job)
+
+__all__ = [
+    "ArtifactStore", "JobQueue", "JobRecord", "JOB_STATES",
+    "normalize_spec", "dedupe_key_for",
+    "PreemptGuard", "execute_job",
+    "EXIT_DONE", "EXIT_SUSPENDED", "EXIT_FAILED",
+]

@@ -1,0 +1,175 @@
+"""Client side of the simulation service: stdlib HTTP, line-JSON attach.
+
+:class:`ServiceClient` wraps the server's REST surface; every method is
+a plain blocking call returning parsed JSON.  :meth:`ServiceClient.attach`
+is the streaming exception — it holds one dedicated connection open and
+yields telemetry records as the server forwards them (replay first,
+then live), terminating at the job's ``run_end``.
+
+Discovery: a server advertises itself in ``<root>/service/server.json``;
+:func:`server_address` polls that manifest so scripts can start
+``repro serve`` with ``--port 0`` (ephemeral) and still find it.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import time
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..observe.telemetry import parse_line
+from .store import ArtifactStore
+
+__all__ = ["ServiceClient", "ServiceError", "server_address"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, doc: Dict[str, Any]) -> None:
+        super().__init__(f"HTTP {status}: {doc.get('error', doc)}")
+        self.status = status
+        self.doc = doc
+
+
+def server_address(root: Optional[str] = None,
+                   timeout_s: float = 10.0) -> Tuple[str, int]:
+    """Resolve the (host, port) of the server on *root*'s store.
+
+    Polls ``server.json`` for up to *timeout_s* — covers the race where
+    a just-spawned ``repro serve`` hasn't bound its socket yet."""
+    path = ArtifactStore(root).server_manifest_path()
+    deadline = time.monotonic() + timeout_s
+    while True:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+            return str(doc["host"]), int(doc["port"])
+        except (OSError, ValueError, KeyError):
+            if time.monotonic() > deadline:
+                raise ServiceError(0, {
+                    "error": f"no server manifest at {path} "
+                             f"after {timeout_s:.0f}s — is `repro serve` "
+                             f"running on this cache root?"})
+            time.sleep(0.1)
+
+
+class ServiceClient:
+    """One server endpoint; connections are per-request (HTTP/1.0)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 root: Optional[str] = None,
+                 timeout_s: float = 30.0) -> None:
+        if not port:
+            host, port = server_address(root)
+        self.host = host
+        self.port = int(port)
+        self.timeout_s = timeout_s
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout_s)
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                doc = json.loads(raw.decode("utf-8")) if raw else {}
+            except ValueError:
+                doc = {"error": raw.decode("utf-8", "replace")}
+            if response.status >= 400:
+                raise ServiceError(response.status, doc)
+            return doc
+        finally:
+            conn.close()
+
+    # -- API --------------------------------------------------------------
+
+    def submit(self, spec: Dict[str, Any],
+               priority: int = 0) -> Dict[str, Any]:
+        """Submit one job; returns its manifest (which may already be
+        DONE — dedupe against a stored artifact is instantaneous)."""
+        return self._request("POST", "/jobs",
+                             {"spec": spec, "priority": int(priority)})
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """The finished artifact (raises ServiceError until DONE)."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self._request("POST", "/shutdown")
+
+    def wait(self, job_id: str, timeout_s: float = 600.0,
+             poll_s: float = 0.2) -> Dict[str, Any]:
+        """Block until the job reaches a terminal state; returns the
+        final manifest.  Raises TimeoutError if it doesn't."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            doc = self.job(job_id)
+            if doc.get("state") in ("DONE", "FAILED", "CANCELLED"):
+                return doc
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {doc.get('state')} "
+                    f"after {timeout_s:.0f}s")
+            time.sleep(poll_s)
+
+    # -- streaming --------------------------------------------------------
+
+    def attach(self, job_id: str,
+               timeout_s: Optional[float] = None
+               ) -> Iterator[Dict[str, Any]]:
+        """Yield the job's telemetry records: full replay, then live.
+
+        Holds a dedicated connection; the stream ends at the job's
+        ``run_end`` (the server emits one for every terminal state, so
+        attach always terminates)."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=timeout_s if timeout_s is not None else 600.0)
+        try:
+            conn.request("GET", f"/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    doc = json.loads(raw.decode("utf-8"))
+                except ValueError:
+                    doc = {"error": raw.decode("utf-8", "replace")}
+                raise ServiceError(response.status, doc)
+            buf = b""
+            while True:
+                chunk = response.read1(65536) if hasattr(response, "read1") \
+                    else response.read(65536)
+                if not chunk:
+                    break
+                buf += chunk
+                while b"\n" in buf:
+                    line, buf = buf.split(b"\n", 1)
+                    record = parse_line(line)
+                    if record is not None:
+                        yield record
+        finally:
+            conn.close()

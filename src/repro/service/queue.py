@@ -1,0 +1,345 @@
+"""Job records, the priority queue, and the crash-recovery manifest.
+
+Every job owns one directory under ``<root>/service/jobs/<job_id>/``:
+
+``job.json``
+    the manifest (spec, priority, state, dedupe key, counters) —
+    written atomically by the *server only*; the worker reads it and
+    reports back through its exit code plus ``result.json``/``error.txt``.
+``telemetry.jsonl``
+    the job's live record stream (``job_queued``/``run_start``/
+    ``interval``/``job_preempted``/``job_resumed``/``run_end``...),
+    appended to by whichever process currently owns the job's lifecycle
+    moment (server at queue/terminal time, worker while running).
+``suspend.ckpt``
+    the preemption snapshot (standard ``.ckpt`` format) a resumed
+    worker restores from.
+``preempt.req``
+    the preemption request flag the server drops and the running
+    worker's :class:`~repro.service.worker.PreemptGuard` polls.
+``result.json`` / ``error.txt`` / ``worker.log``
+    the worker's outputs.
+
+States: ``QUEUED → RUNNING → DONE`` on the happy path; ``RUNNING →
+SUSPENDED → RUNNING`` per preemption round-trip; ``FAILED`` and
+``CANCELLED`` are terminal.  A server restart replays the manifests:
+``QUEUED``/``SUSPENDED`` jobs re-enter the heap, a ``RUNNING`` job
+whose worker died demotes to ``SUSPENDED`` (snapshot on disk) or
+``QUEUED`` (restart from scratch — any completed points answer from the
+result cache), and terminal jobs stay as they are.
+
+Scheduling order is ``(-priority, seq)``: higher priority first,
+FIFO within a priority.  A suspended job keeps its original ``seq``, so
+after its preemptor finishes it resumes ahead of later arrivals at its
+own priority.
+
+Deduplication keys (:func:`dedupe_key_for`) digest the *normalized*
+spec plus the library fingerprint — two textually different submissions
+of the same simulation collide, and any code change invalidates every
+key, exactly like the result cache.  Priority is scheduling policy, not
+work identity, so it stays out of the key; an explicit ``tag`` field in
+the spec deliberately splits otherwise-identical work (the bench uses
+it to defeat dedupe when measuring raw throughput).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import heapq
+import json
+import os
+import tempfile
+import time
+from typing import Any, Dict, List, Optional
+
+from ..harness.cache import library_fingerprint
+
+__all__ = ["JOB_STATES", "JobRecord", "JobQueue", "normalize_spec",
+           "dedupe_key_for"]
+
+QUEUED = "QUEUED"
+RUNNING = "RUNNING"
+SUSPENDED = "SUSPENDED"
+DONE = "DONE"
+FAILED = "FAILED"
+CANCELLED = "CANCELLED"
+
+JOB_STATES = (QUEUED, RUNNING, SUSPENDED, DONE, FAILED, CANCELLED)
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+#: job kinds the scheduler may preempt (fuzz/xval jobs are short and
+#: have no suspend path; they always run to completion once started)
+PREEMPTIBLE_KINDS = ("run", "sweep")
+
+_SPEC_DEFAULTS: Dict[str, Any] = {
+    "kind": "run",
+    "config": "P8",
+    "workload": "oltp",
+    "nodes": 1,
+    "scale": 1.0,
+}
+
+
+def normalize_spec(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Canonicalise a job spec: fill defaults, coerce types, drop nulls.
+
+    Normalisation happens *before* keying so that e.g. ``nodes: 1``
+    present-vs-absent, or a float-vs-int scale, cannot split the dedupe
+    key of identical work.
+    """
+    out = dict(_SPEC_DEFAULTS)
+    out.update({k: v for k, v in spec.items() if v is not None})
+    out["kind"] = str(out["kind"])
+    out["nodes"] = int(out["nodes"])
+    out["scale"] = float(out["scale"])
+    for field in ("probe_rate", "seed", "ops", "cpus", "seeds"):
+        if field in out:
+            out[field] = int(out[field])
+    for field in ("sample_interval_us", "preempt_every_us"):
+        if field in out:
+            out[field] = float(out[field])
+    if "check" in out:
+        out["check"] = bool(out["check"])
+    if "values" in out and isinstance(out["values"], str):
+        out["values"] = [v.strip() for v in out["values"].split(",")
+                         if v.strip()]
+    return out
+
+
+def dedupe_key_for(spec: Dict[str, Any]) -> str:
+    """Content digest of one unit of simulation work."""
+    payload = json.dumps({"spec": normalize_spec(spec),
+                          "lib": library_fingerprint()},
+                         sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _atomic_write_json(path: str, doc: Dict[str, Any]) -> None:
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, sort_keys=True, indent=2)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+@dataclasses.dataclass
+class JobRecord:
+    """One job's manifest plus its on-disk paths."""
+
+    job_id: str
+    job_dir: str
+    spec: Dict[str, Any]
+    priority: int = 0
+    seq: int = 0
+    state: str = QUEUED
+    dedupe_key: str = ""
+    #: job id (or literal ``"artifact"``) this job deduplicated against
+    dedup_of: Optional[str] = None
+    preemptions: int = 0
+    resumes: int = 0
+    error: str = ""
+    created_wall: float = 0.0
+    finished_wall: float = 0.0
+
+    # -- paths ------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.job_dir, "job.json")
+
+    @property
+    def telemetry_path(self) -> str:
+        return os.path.join(self.job_dir, "telemetry.jsonl")
+
+    @property
+    def suspend_path(self) -> str:
+        return os.path.join(self.job_dir, "suspend.ckpt")
+
+    @property
+    def preempt_path(self) -> str:
+        return os.path.join(self.job_dir, "preempt.req")
+
+    @property
+    def result_path(self) -> str:
+        return os.path.join(self.job_dir, "result.json")
+
+    @property
+    def error_path(self) -> str:
+        return os.path.join(self.job_dir, "error.txt")
+
+    @property
+    def log_path(self) -> str:
+        return os.path.join(self.job_dir, "worker.log")
+
+    # -- persistence ------------------------------------------------------
+
+    def to_manifest(self) -> Dict[str, Any]:
+        doc = dataclasses.asdict(self)
+        doc.pop("job_dir")  # derivable; keeps manifests relocatable
+        return doc
+
+    def save(self) -> None:
+        """Atomically persist the manifest (server is the only writer)."""
+        _atomic_write_json(self.manifest_path, self.to_manifest())
+
+    @classmethod
+    def load(cls, job_dir: str) -> "JobRecord":
+        with open(os.path.join(job_dir, "job.json"), encoding="utf-8") as fh:
+            doc = json.load(fh)
+        doc.pop("job_dir", None)
+        return cls(job_dir=job_dir, **doc)
+
+    def public(self) -> Dict[str, Any]:
+        """The API-facing view of the job."""
+        doc = self.to_manifest()
+        doc["job_dir"] = self.job_dir
+        return doc
+
+
+class JobQueue:
+    """Priority heap + manifest directory (no asyncio — the server
+    layers its own wakeups on top).
+
+    The heap holds ``(-priority, seq, job_id)`` entries and is purged
+    lazily: state transitions (cancel, dedupe-resolve) just flip the
+    record, and :meth:`pop_ready` discards entries whose record is no
+    longer claimable.
+    """
+
+    def __init__(self, jobs_root: str) -> None:
+        self.jobs_root = jobs_root
+        self.records: Dict[str, JobRecord] = {}
+        self._heap: List[tuple] = []
+        self._next_seq = 0
+
+    # -- submission -------------------------------------------------------
+
+    def create(self, spec: Dict[str, Any], priority: int = 0) -> JobRecord:
+        """Build (and persist) a new QUEUED record; caller decides
+        whether it enters the heap or resolves as a duplicate."""
+        spec = normalize_spec(spec)
+        seq = self._next_seq
+        self._next_seq += 1
+        key = dedupe_key_for(spec)
+        job_id = f"j{seq:05d}-{key[:8]}"
+        record = JobRecord(
+            job_id=job_id,
+            job_dir=os.path.join(self.jobs_root, job_id),
+            spec=spec,
+            priority=int(priority),
+            seq=seq,
+            dedupe_key=key,
+            created_wall=time.time(),
+        )
+        os.makedirs(record.job_dir, exist_ok=True)
+        record.save()
+        self.records[job_id] = record
+        return record
+
+    def push(self, record: JobRecord) -> None:
+        heapq.heappush(self._heap, (-record.priority, record.seq,
+                                    record.job_id))
+
+    def pop_ready(self) -> Optional[JobRecord]:
+        """Claim the best QUEUED/SUSPENDED job, or None."""
+        while self._heap:
+            _np, _seq, job_id = heapq.heappop(self._heap)
+            record = self.records.get(job_id)
+            if record is not None and record.state in (QUEUED, SUSPENDED):
+                return record
+        return None
+
+    def peek_ready(self) -> Optional[JobRecord]:
+        """The best claimable job without removing it (for preemption
+        decisions), purging stale heap entries along the way."""
+        while self._heap:
+            _np, _seq, job_id = self._heap[0]
+            record = self.records.get(job_id)
+            if record is not None and record.state in (QUEUED, SUSPENDED):
+                return record
+            heapq.heappop(self._heap)
+        return None
+
+    def peek_priority(self) -> Optional[int]:
+        """Priority of the best claimable job still in the heap."""
+        record = self.peek_ready()
+        return None if record is None else record.priority
+
+    # -- dedupe -----------------------------------------------------------
+
+    def active_leader(self, dedupe_key: str) -> Optional[JobRecord]:
+        """The in-flight job other submissions of *dedupe_key* follow."""
+        best = None
+        for record in self.records.values():
+            if (record.dedupe_key == dedupe_key and record.dedup_of is None
+                    and record.state in (QUEUED, RUNNING, SUSPENDED)):
+                if best is None or record.seq < best.seq:
+                    best = record
+        return best
+
+    def followers_of(self, leader_id: str) -> List[JobRecord]:
+        return [r for r in self.records.values()
+                if r.dedup_of == leader_id and r.state not in TERMINAL_STATES]
+
+    # -- recovery ---------------------------------------------------------
+
+    def recover(self) -> Dict[str, int]:
+        """Rebuild queue state from the on-disk manifests after a
+        restart (or crash).  Returns transition counts for logging."""
+        counts = {"queued": 0, "suspended": 0, "restarted": 0, "kept": 0}
+        if not os.path.isdir(self.jobs_root):
+            return counts
+        loaded: List[JobRecord] = []
+        for name in sorted(os.listdir(self.jobs_root)):
+            job_dir = os.path.join(self.jobs_root, name)
+            if not os.path.isfile(os.path.join(job_dir, "job.json")):
+                continue
+            try:
+                record = JobRecord.load(job_dir)
+            except (OSError, ValueError, TypeError):
+                continue  # torn manifest from a crash mid-create
+            loaded.append(record)
+        for record in loaded:
+            self.records[record.job_id] = record
+            self._next_seq = max(self._next_seq, record.seq + 1)
+            if record.state == RUNNING:
+                # its worker died with the old server; the snapshot (if
+                # any) resumes it, otherwise it restarts — completed
+                # sweep points answer from the result cache either way
+                if os.path.exists(record.suspend_path):
+                    record.state = SUSPENDED
+                    counts["suspended"] += 1
+                else:
+                    record.state = QUEUED
+                    counts["restarted"] += 1
+                # a stale preemption request must not instantly
+                # re-suspend the recovered job
+                try:
+                    os.unlink(record.preempt_path)
+                except OSError:
+                    pass
+                record.save()
+                self.push(record)
+            elif record.state in (QUEUED, SUSPENDED):
+                if record.dedup_of is None:
+                    self.push(record)
+                counts["queued" if record.state == QUEUED
+                       else "suspended"] += 1
+            else:
+                counts["kept"] += 1
+        return counts
+
+    def summary(self) -> Dict[str, int]:
+        out: Dict[str, int] = {state: 0 for state in JOB_STATES}
+        for record in self.records.values():
+            out[record.state] = out.get(record.state, 0) + 1
+        return out

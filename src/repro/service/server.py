@@ -1,0 +1,647 @@
+"""The asyncio job server: REST + line-JSON API over a worker pool.
+
+One process owns the queue (:class:`~repro.service.queue.JobQueue`),
+a pool of worker *subprocesses* (one per running job — a simulation
+crash can never take the server down), and the HTTP endpoint:
+
+====== ============================ =====================================
+method path                         effect
+====== ============================ =====================================
+POST   ``/jobs``                    submit ``{"spec": {...},
+                                    "priority": N}`` → job manifest
+GET    ``/jobs``                    list all job manifests
+GET    ``/jobs/<id>``               one job manifest
+GET    ``/jobs/<id>/result``        the finished artifact (404 until
+                                    DONE)
+GET    ``/jobs/<id>/events``        NDJSON stream: full telemetry
+                                    replay, then live follow until
+                                    ``run_end``
+POST   ``/jobs/<id>/cancel``        cancel a queued/running job
+GET    ``/stats``                   queue/dedupe/preemption counters +
+                                    store stats
+POST   ``/shutdown``                suspend running jobs, persist
+                                    manifests, stop
+====== ============================ =====================================
+
+Scheduling: highest priority first, FIFO within a priority.  When every
+worker slot is busy and a strictly higher-priority job is waiting, the
+scheduler preempts the lowest-priority running *preemptible* job by
+dropping ``preempt.req`` in its directory; the worker suspends to
+``suspend.ckpt`` at its next guard tick and exits 85, the job re-enters
+the queue as ``SUSPENDED`` (keeping its original seq), and a later free
+slot resumes it bit-identically.
+
+Dedupe: a submission whose digest matches a finished artifact completes
+instantly; one matching an in-flight job becomes a *follower* that
+resolves when its leader finishes.  Either way the duplicate never
+costs a simulation, which is the multi-tenant story: N clients
+submitting overlapping sweeps fan out to the union of distinct points.
+
+Crash recovery: every state change is persisted to ``job.json`` before
+it takes effect, so a restarted server replays the manifests — queued
+jobs re-enter the heap, suspended jobs resume from their snapshots,
+and a ``RUNNING`` orphan (its worker died with the old server) demotes
+to ``SUSPENDED`` or ``QUEUED``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import sys
+import threading
+import time
+import traceback
+from typing import Any, Dict, Optional, Tuple
+
+from . import queue as jobq
+from .queue import PREEMPTIBLE_KINDS, JobQueue, JobRecord
+from .store import ArtifactStore
+from .worker import EXIT_DONE, EXIT_SUSPENDED
+
+__all__ = ["ServiceServer", "ServerThread", "run_server"]
+
+#: how long a clean shutdown waits for workers to suspend before
+#: escalating to SIGTERM
+SHUTDOWN_GRACE_S = 60.0
+#: scheduler poll period — wakeups (submit/exit) are event-driven; this
+#: only bounds recovery from a missed edge
+SCHED_POLL_S = 0.2
+
+
+class ServiceServer:
+    """See the module docstring.  ``workers=0`` accepts and queues but
+    never launches — used by recovery tests and drain-only operation."""
+
+    def __init__(self, root: Optional[str] = None, host: str = "127.0.0.1",
+                 port: int = 0, workers: int = 2,
+                 preempt: bool = True) -> None:
+        self.store = ArtifactStore(root)
+        self.queue = JobQueue(self.store.jobs_dir())
+        self.host = host
+        self.port = port
+        self.workers = int(workers)
+        self.preempt = preempt
+        self.running: Dict[str, asyncio.subprocess.Process] = {}
+        self.stats: Dict[str, int] = {
+            "submitted": 0, "completed": 0, "failed": 0, "cancelled": 0,
+            "dedupe_hits": 0, "preemptions": 0, "resumes": 0,
+            "recovered": 0,
+        }
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._wake = asyncio.Event()
+        self._closed = asyncio.Event()
+        self._shutting_down = False
+        self._sched_task: Optional[asyncio.Task] = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> None:
+        os.makedirs(self.queue.jobs_root, exist_ok=True)
+        recovered = self.queue.recover()
+        self.stats["recovered"] = (recovered["queued"]
+                                   + recovered["suspended"]
+                                   + recovered["restarted"])
+        self._resolve_recovered_followers()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._write_server_manifest()
+        self._sched_task = asyncio.create_task(self._scheduler())
+
+    def _write_server_manifest(self) -> None:
+        jobq._atomic_write_json(self.store.server_manifest_path(), {
+            "host": self.host, "port": self.port, "pid": os.getpid(),
+            "workers": self.workers, "root": self.store.root,
+        })
+
+    def _resolve_recovered_followers(self) -> None:
+        """Followers whose leader finished (or vanished) while the
+        server was down: answer from the artifact, or promote."""
+        for record in list(self.queue.records.values()):
+            if record.dedup_of is None or record.state in jobq.TERMINAL_STATES:
+                continue
+            artifact = self.store.get_artifact(record.dedupe_key)
+            if artifact is not None:
+                self._finish_as_duplicate(record, record.dedup_of)
+                continue
+            leader = self.queue.records.get(record.dedup_of)
+            if leader is None or leader.state in jobq.TERMINAL_STATES:
+                record.dedup_of = None  # promote to leader
+                record.save()
+                self.queue.push(record)
+
+    async def wait_closed(self) -> None:
+        await self._closed.wait()
+
+    async def shutdown(self) -> None:
+        """Suspend running jobs, persist everything, stop serving."""
+        if self._shutting_down:
+            return
+        self._shutting_down = True
+        self._wake.set()
+        for job_id in list(self.running):
+            self._request_preemption(self.queue.records[job_id],
+                                     by="shutdown")
+        deadline = time.monotonic() + SHUTDOWN_GRACE_S
+        while self.running and time.monotonic() < deadline:
+            await asyncio.sleep(0.05)
+        for job_id, proc in list(self.running.items()):
+            try:
+                proc.terminate()
+            except ProcessLookupError:
+                pass
+        while self.running:
+            await asyncio.sleep(0.05)
+        if self._sched_task is not None:
+            self._sched_task.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        try:
+            os.unlink(self.store.server_manifest_path())
+        except OSError:
+            pass
+        self._closed.set()
+
+    # -- scheduler --------------------------------------------------------
+
+    async def _scheduler(self) -> None:
+        while not self._shutting_down:
+            try:
+                await self._launch_ready()
+                self._maybe_preempt()
+            except Exception:  # defensive: the loop must survive
+                print("scheduler error:\n" + traceback.format_exc(),
+                      file=sys.stderr)
+            try:
+                await asyncio.wait_for(self._wake.wait(),
+                                       timeout=SCHED_POLL_S)
+                self._wake.clear()
+            except asyncio.TimeoutError:
+                pass
+
+    async def _launch_ready(self) -> None:
+        while (not self._shutting_down
+               and len(self.running) < self.workers):
+            record = self.queue.pop_ready()
+            if record is None:
+                return
+            await self._launch(record)
+
+    async def _launch(self, record: JobRecord) -> None:
+        resuming = record.state == jobq.SUSPENDED
+        if resuming:
+            record.resumes += 1
+            self.stats["resumes"] += 1
+        record.state = jobq.RUNNING
+        record.save()
+        log = open(record.log_path, "ab")
+        # the worker's result cache, checkpoint store and artifact
+        # publications must all land on *this server's* root, whatever
+        # the subprocess environment would otherwise default to
+        env = dict(os.environ)
+        env["REPRO_CACHE_DIR"] = self.store.root
+        env.pop("REPRO_NO_CACHE", None)
+        # the worker must import the same `repro` this server runs —
+        # hosts that got it via sys.path surgery (scripts/) rather than
+        # an installed package or PYTHONPATH need the path forwarded
+        pkg_root = os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))
+        parts = env.get("PYTHONPATH", "").split(os.pathsep)
+        if pkg_root not in parts:
+            env["PYTHONPATH"] = os.pathsep.join(
+                [pkg_root] + [p for p in parts if p])
+        try:
+            proc = await asyncio.create_subprocess_exec(
+                sys.executable, "-m", "repro.service.worker",
+                record.job_dir, stdout=log, stderr=log, env=env)
+        finally:
+            log.close()
+        self.running[record.job_id] = proc
+        asyncio.create_task(self._reap(record, proc))
+
+    async def _reap(self, record: JobRecord, proc) -> None:
+        returncode = await proc.wait()
+        self.running.pop(record.job_id, None)
+        try:
+            self._apply_exit(record, returncode)
+        except Exception:
+            print(f"reap error for {record.job_id}:\n"
+                  + traceback.format_exc(), file=sys.stderr)
+        self._wake.set()
+
+    def _apply_exit(self, record: JobRecord, returncode: int) -> None:
+        # a preemption request the worker never consumed (finished or
+        # died first) must not survive into a requeue
+        try:
+            os.unlink(record.preempt_path)
+        except OSError:
+            pass
+        if record.state == jobq.CANCELLED:
+            return  # cancel already accounted for this job
+        if returncode == EXIT_DONE:
+            record.state = jobq.DONE
+            record.finished_wall = time.time()
+            record.save()
+            self.stats["completed"] += 1
+            self._resolve_followers(record)
+        elif returncode == EXIT_SUSPENDED:
+            record.state = jobq.SUSPENDED
+            record.preemptions += 1
+            record.save()
+            self.stats["preemptions"] += 1
+            self.queue.push(record)  # original seq: resumes ahead of
+            #                          later arrivals at its priority
+        else:
+            record.state = jobq.FAILED
+            record.finished_wall = time.time()
+            record.error = self._read_error_tail(record)
+            record.save()
+            self.stats["failed"] += 1
+            self._emit_lifecycle(record, "run_end", error=record.error
+                                 or f"worker exited {returncode}")
+            for follower in self.queue.followers_of(record.job_id):
+                follower.dedup_of = None  # rerun independently
+                follower.save()
+                self.queue.push(follower)
+
+    @staticmethod
+    def _read_error_tail(record: JobRecord, limit: int = 2000) -> str:
+        try:
+            with open(record.error_path, encoding="utf-8") as fh:
+                text = fh.read()
+            return text[-limit:]
+        except OSError:
+            return ""
+
+    def _resolve_followers(self, leader: JobRecord) -> None:
+        for follower in self.queue.followers_of(leader.job_id):
+            self._finish_as_duplicate(follower, leader.job_id)
+
+    def _finish_as_duplicate(self, record: JobRecord,
+                             leader_id: Optional[str]) -> None:
+        record.state = jobq.DONE
+        record.dedup_of = leader_id or "artifact"
+        record.finished_wall = time.time()
+        record.save()
+        self.stats["dedupe_hits"] += 1
+        self.stats["completed"] += 1
+        self._emit_lifecycle(record, "run_end", cached=True,
+                             dedup_of=record.dedup_of)
+
+    def _maybe_preempt(self) -> None:
+        if not self.preempt or self._shutting_down or self.workers == 0:
+            return
+        if len(self.running) < self.workers:
+            return  # a free slot serves the arrival without violence
+        top = self.queue.peek_ready()
+        if top is None:
+            return
+        victim = None
+        for job_id in self.running:
+            record = self.queue.records.get(job_id)
+            if (record is None or record.state != jobq.RUNNING
+                    or record.spec.get("kind") not in PREEMPTIBLE_KINDS
+                    or os.path.exists(record.preempt_path)):
+                continue
+            if victim is None or (record.priority, -record.seq) \
+                    < (victim.priority, -victim.seq):
+                victim = record
+        if victim is not None and top.priority > victim.priority:
+            self._request_preemption(victim, by=top.job_id)
+
+    def _request_preemption(self, record: JobRecord, by: str) -> None:
+        jobq._atomic_write_json(record.preempt_path,
+                                {"by": by, "wall": time.time()})
+
+    # -- submission / lifecycle ------------------------------------------
+
+    def submit(self, spec: Dict[str, Any], priority: int = 0) -> JobRecord:
+        record = self.queue.create(spec, priority)
+        self.stats["submitted"] += 1
+        artifact = self.store.get_artifact(record.dedupe_key)
+        if artifact is not None:
+            self._emit_lifecycle(record, "job_queued", dedup_of="artifact")
+            self._finish_as_duplicate(record, None)
+            return record
+        leader = self.queue.active_leader(record.dedupe_key)
+        if leader is not None and leader.job_id != record.job_id:
+            record.dedup_of = leader.job_id
+            record.save()
+            self._emit_lifecycle(record, "job_queued",
+                                 dedup_of=leader.job_id)
+            return record
+        self._emit_lifecycle(record, "job_queued")
+        self.queue.push(record)
+        self._wake.set()
+        return record
+
+    def cancel(self, record: JobRecord) -> bool:
+        if record.state in jobq.TERMINAL_STATES:
+            return False
+        was_running = record.state == jobq.RUNNING
+        record.state = jobq.CANCELLED
+        record.finished_wall = time.time()
+        record.save()
+        self.stats["cancelled"] += 1
+        self._emit_lifecycle(record, "run_end", cancelled=True)
+        if was_running:
+            proc = self.running.get(record.job_id)
+            if proc is not None:
+                try:
+                    proc.terminate()
+                except ProcessLookupError:
+                    pass
+        self._wake.set()
+        return True
+
+    def _emit_lifecycle(self, record: JobRecord, kind: str,
+                        **fields) -> None:
+        """Append one lifecycle record to the job's telemetry stream.
+
+        Single-writer discipline: the server only writes while no worker
+        owns the job (queue time, terminal time), so lines never
+        interleave with the worker's.
+        """
+        from ..observe.telemetry import TelemetryStream
+
+        base = {"job_id": record.job_id,
+                "priority": record.priority,
+                "job_kind": record.spec.get("kind", "run")}
+        base.update(fields)
+        with TelemetryStream(record.telemetry_path, append=True) as stream:
+            stream.emit(kind, **base)
+
+    def stats_doc(self) -> Dict[str, Any]:
+        return {
+            "schema": "repro-service-stats/1",
+            "workers": self.workers,
+            "running": sorted(self.running),
+            "jobs": self.queue.summary(),
+            "counters": dict(self.stats),
+            "store": self.store.info(),
+        }
+
+    # -- HTTP -------------------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is not None:
+                method, path, body = request
+                await self._route(method, path, body, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception:
+            try:
+                self._write_response(writer, 500,
+                                     {"error": traceback.format_exc()})
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _read_request(reader) -> Optional[Tuple[str, str, bytes]]:
+        request_line = await reader.readline()
+        if not request_line.strip():
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return None
+        method, path = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        body = await reader.readexactly(length) if length else b""
+        return method, path, body
+
+    def _write_response(self, writer, status: int,
+                        doc: Dict[str, Any]) -> None:
+        reason = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                  404: "Not Found", 409: "Conflict",
+                  500: "Internal Server Error"}.get(status, "OK")
+        body = json.dumps(doc, sort_keys=True).encode("utf-8")
+        writer.write(
+            f"HTTP/1.0 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n".encode("latin-1") + body)
+
+    async def _route(self, method: str, path: str, body: bytes,
+                     writer) -> None:
+        path = path.split("?", 1)[0]
+        segments = [s for s in path.split("/") if s]
+        if method == "GET" and segments == ["stats"]:
+            self._write_response(writer, 200, self.stats_doc())
+        elif method == "GET" and segments == ["jobs"]:
+            jobs = [r.public() for r in sorted(
+                self.queue.records.values(), key=lambda r: r.seq)]
+            self._write_response(writer, 200, {"jobs": jobs})
+        elif method == "POST" and segments == ["jobs"]:
+            try:
+                doc = json.loads(body.decode("utf-8")) if body else {}
+                spec = doc.get("spec") or {}
+                if not isinstance(spec, dict) or not spec:
+                    raise ValueError("missing job spec")
+                record = self.submit(spec, int(doc.get("priority", 0)))
+            except (ValueError, TypeError, KeyError) as exc:
+                self._write_response(writer, 400, {"error": str(exc)})
+                return
+            self._write_response(writer, 200, record.public())
+        elif method == "POST" and segments == ["shutdown"]:
+            self._write_response(writer, 202, {"shutting_down": True})
+            await writer.drain()
+            asyncio.create_task(self.shutdown())
+        elif len(segments) >= 2 and segments[0] == "jobs":
+            record = self.queue.records.get(segments[1])
+            if record is None:
+                self._write_response(writer, 404,
+                                     {"error": f"no job {segments[1]}"})
+            elif method == "GET" and len(segments) == 2:
+                self._write_response(writer, 200, record.public())
+            elif method == "GET" and segments[2:] == ["result"]:
+                doc = self._result_for(record)
+                if doc is None:
+                    self._write_response(
+                        writer, 404 if record.state != jobq.FAILED else 409,
+                        {"error": f"job is {record.state}",
+                         "state": record.state, "detail": record.error})
+                else:
+                    self._write_response(writer, 200, doc)
+            elif method == "GET" and segments[2:] == ["events"]:
+                await self._stream_events(writer, record)
+            elif method == "POST" and segments[2:] == ["cancel"]:
+                changed = self.cancel(record)
+                self._write_response(writer, 200,
+                                     {"cancelled": changed,
+                                      "state": record.state})
+            else:
+                self._write_response(writer, 404, {"error": "no such route"})
+        else:
+            self._write_response(writer, 404, {"error": "no such route"})
+        await writer.drain()
+
+    def _result_for(self, record: JobRecord) -> Optional[Dict[str, Any]]:
+        if record.state != jobq.DONE:
+            return None
+        try:
+            with open(record.result_path, encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            pass
+        return self.store.get_artifact(record.dedupe_key)
+
+    async def _stream_events(self, writer, record: JobRecord,
+                             timeout_s: float = 600.0) -> None:
+        """Replay the job's telemetry from the top, then follow live.
+
+        NDJSON over HTTP/1.0 with ``Connection: close`` — the reader
+        consumes lines until EOF.  Only complete lines are forwarded
+        (same torn-line discipline as ``repro watch``); the stream ends
+        at the job's ``run_end``, which the server guarantees exists for
+        every terminal state.
+        """
+        from ..observe.telemetry import parse_line
+
+        writer.write(b"HTTP/1.0 200 OK\r\n"
+                     b"Content-Type: application/x-ndjson\r\n"
+                     b"Connection: close\r\n\r\n")
+        await writer.drain()
+        offset = 0
+        buf = b""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            chunk = b""
+            try:
+                with open(record.telemetry_path, "rb") as fh:
+                    fh.seek(offset)
+                    chunk = fh.read()
+                    offset = fh.tell()
+            except FileNotFoundError:
+                pass
+            if chunk:
+                deadline = time.monotonic() + timeout_s
+                buf += chunk
+                while b"\n" in buf:
+                    line, buf = buf.split(b"\n", 1)
+                    parsed = parse_line(line)
+                    if parsed is None:
+                        continue
+                    writer.write(line.strip() + b"\n")
+                    await writer.drain()
+                    if parsed.get("kind") == "run_end":
+                        return
+            if time.monotonic() > deadline or self._shutting_down:
+                return
+            await asyncio.sleep(0.1)
+
+
+# -- entry points ---------------------------------------------------------
+
+async def _serve(server: ServiceServer) -> None:
+    await server.start()
+    print(f"repro service listening on "
+          f"http://{server.host}:{server.port} "
+          f"(root {server.store.root}, {server.workers} workers, "
+          f"{server.stats['recovered']} jobs recovered)")
+    try:
+        await server.wait_closed()
+    except asyncio.CancelledError:
+        await server.shutdown()
+        raise
+
+
+def run_server(root: Optional[str] = None, host: str = "127.0.0.1",
+               port: int = 0, workers: int = 2,
+               preempt: bool = True) -> int:
+    """Blocking entry point behind ``repro serve``."""
+    server = ServiceServer(root=root, host=host, port=port,
+                           workers=workers, preempt=preempt)
+    try:
+        asyncio.run(_serve(server))
+    except KeyboardInterrupt:
+        print("\nshutting down (suspending running jobs) ...")
+    return 0
+
+
+class ServerThread:
+    """An in-process server on a background thread (tests, bench).
+
+    ::
+
+        with ServerThread(root=tmp, workers=2) as srv:
+            client = ServiceClient(*srv.address)
+            ...
+
+    Exit performs a full clean shutdown (running jobs suspended and
+    persisted), so a second ``ServerThread`` on the same root exercises
+    the recovery path.
+    """
+
+    def __init__(self, **kwargs) -> None:
+        self.server = ServiceServer(**kwargs)
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.server.host, self.server.port
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-service")
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise RuntimeError("service server failed to start in 30s")
+        if self._startup_error is not None:
+            raise RuntimeError("service server failed to start") \
+                from self._startup_error
+        return self
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self.server.start())
+        except BaseException as exc:
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        try:
+            self._loop.run_until_complete(self.server.wait_closed())
+        finally:
+            self._loop.close()
+
+    def stop(self, timeout: float = SHUTDOWN_GRACE_S + 30) -> None:
+        if self._loop is None or self._thread is None:
+            return
+        if not self._loop.is_closed():
+            future = asyncio.run_coroutine_threadsafe(
+                self.server.shutdown(), self._loop)
+            try:
+                future.result(timeout=timeout)
+            except (TimeoutError, RuntimeError):
+                pass
+        self._thread.join(timeout=10)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

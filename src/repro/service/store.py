@@ -1,0 +1,126 @@
+"""Content-addressed artifact store shared by server and workers.
+
+One digest-addressed root (``cache_dir()``, i.e. ``REPRO_CACHE_DIR``)
+now carries every persistent artifact the harness produces:
+
+``<root>/<d2>/<key>.json``
+    the PR 1 result cache (:class:`repro.harness.cache.DiskCache`) —
+    one ``RunResult`` per simulation point.
+``<root>/checkpoints/<d2>/<key>.ckpt``
+    the PR 5 warm-snapshot store (:class:`repro.checkpoint.store.WarmStore`).
+``<root>/artifacts/<d2>/<key>.json``
+    finished *job* documents keyed by the job's dedupe digest — the
+    thing a duplicate submission answers from without simulating.
+``<root>/service/``
+    the server's mutable state: ``server.json`` (address manifest) and
+    ``jobs/<job_id>/`` directories (manifest, telemetry, suspend
+    snapshot, worker logs).
+
+All three digest-addressed areas write through the same primitive
+(:func:`repro.harness.cache.locked_exclusive_write`): take the entry's
+file lock, re-check existence, tmp+rename.  Entries are pure functions
+of their keys, so first-writer-wins *is* the dedupe — a losing writer
+discards a byte-identical payload.  Readers never lock (rename
+atomicity guarantees old-or-new).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional
+
+from ..checkpoint.store import WarmStore
+from ..harness.cache import (DiskCache, cache_dir, cache_enabled,
+                             locked_exclusive_write)
+
+__all__ = ["ArtifactStore"]
+
+
+class ArtifactStore:
+    """The unified digest-addressed root (results, checkpoints, artifacts).
+
+    ``root=None`` follows the process-wide cache directory (and with it
+    ``REPRO_CACHE_DIR``), making the store the same one the in-process
+    harness caches already populate — a service job whose point was ever
+    simulated on this root answers from cache.
+    """
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self._root = root
+        self.results = DiskCache(root)
+        self.checkpoints = WarmStore(
+            os.path.join(root, "checkpoints") if root else None)
+        self.artifact_hits = 0
+        self.artifact_misses = 0
+
+    @property
+    def root(self) -> str:
+        return self._root or cache_dir()
+
+    # -- service state directories ---------------------------------------
+
+    def service_dir(self) -> str:
+        return os.path.join(self.root, "service")
+
+    def jobs_dir(self) -> str:
+        return os.path.join(self.service_dir(), "jobs")
+
+    def server_manifest_path(self) -> str:
+        return os.path.join(self.service_dir(), "server.json")
+
+    # -- content-addressed job artifacts ---------------------------------
+
+    def _artifact_file(self, key: str) -> str:
+        return os.path.join(self.root, "artifacts", key[:2], key + ".json")
+
+    def get_artifact(self, key: Optional[str]) -> Optional[Dict[str, Any]]:
+        """The finished job document for *key*, or None."""
+        if not key:
+            return None
+        try:
+            with open(self._artifact_file(key), "rb") as fh:
+                doc = json.loads(fh.read().decode("utf-8"))
+        except (OSError, ValueError):
+            self.artifact_misses += 1
+            return None
+        self.artifact_hits += 1
+        return doc
+
+    def put_artifact(self, key: Optional[str], doc: Dict[str, Any]) -> bool:
+        """Store a finished job document; True if this call created it.
+
+        ``REPRO_NO_CACHE`` disables artifact persistence like the other
+        stores — the service still runs, every duplicate re-simulates.
+        """
+        if not key or not cache_enabled():
+            return False
+        data = json.dumps(doc, sort_keys=True).encode("utf-8")
+        try:
+            return locked_exclusive_write(self._artifact_file(key), data)
+        except OSError:
+            return False
+
+    def info(self) -> Dict[str, Any]:
+        """Aggregate stats across the three digest-addressed areas."""
+        entries = 0
+        size = 0
+        art_root = os.path.join(self.root, "artifacts")
+        if os.path.isdir(art_root):
+            for walk_root, _dirs, files in os.walk(art_root):
+                for fname in files:
+                    if fname.endswith(".json"):
+                        entries += 1
+                        try:
+                            size += os.path.getsize(
+                                os.path.join(walk_root, fname))
+                        except OSError:
+                            pass
+        return {
+            "root": self.root,
+            "results": self.results.info(),
+            "checkpoints": self.checkpoints.info(),
+            "artifacts": {"entries": entries, "bytes": size,
+                          "hits": self.artifact_hits,
+                          "misses": self.artifact_misses},
+        }

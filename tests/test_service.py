@@ -1,0 +1,479 @@
+"""Simulation-service tests: store, queue, worker, server.
+
+Covers the PR's acceptance criteria:
+
+* the shared locked write path (``locked_exclusive_write``) is
+  first-writer-wins across the result cache, the warm checkpoint store
+  and the artifact store, and ``repro cache --clear`` leaves the
+  sibling stores alone,
+* telemetry readers tolerate a torn (partially-written) final JSONL
+  line — including one split mid-multi-byte-UTF-8 — and the writer
+  flushes after ``run_end``,
+* the job queue orders by ``(-priority, seq)``, a suspended job keeps
+  its original seq, and crash recovery replays the on-disk manifests,
+* a preempted-then-resumed run produces a byte-identical metrics
+  document to an uninterrupted run (satellite 3 — the core determinism
+  gate of the preemption design),
+* the server end-to-end: concurrent duplicate submissions deduplicate
+  to one simulation, a mid-run subscriber streams live telemetry, a
+  higher-priority arrival preempts and the victim resumes, and a
+  restarted server recovers its queue.
+"""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.harness.cache import DiskCache, locked_exclusive_write
+from repro.observe.telemetry import (TelemetryStream, follow_records,
+                                     parse_line, read_records)
+from repro.service import queue as jobq
+from repro.service.queue import (JobQueue, JobRecord, dedupe_key_for,
+                                 normalize_spec)
+from repro.service.store import ArtifactStore
+from repro.service.worker import PreemptGuard, execute_job
+
+
+@pytest.fixture
+def service_env(tmp_path, monkeypatch):
+    """An isolated store root (cache + checkpoints + artifacts + jobs)."""
+    root = str(tmp_path / "store")
+    monkeypatch.setenv("REPRO_CACHE_DIR", root)
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    return root
+
+
+# -- locked writes (satellite 2) -----------------------------------------
+
+class TestLockedWrites:
+    def test_first_writer_wins(self, tmp_path):
+        target = str(tmp_path / "entry.json")
+        assert locked_exclusive_write(target, b"first") is True
+        assert locked_exclusive_write(target, b"second") is False
+        with open(target, "rb") as fh:
+            assert fh.read() == b"first"
+
+    def test_concurrent_writers_single_winner(self, tmp_path):
+        target = str(tmp_path / "entry.json")
+        wins = []
+        barrier = threading.Barrier(8)
+
+        def attempt(i):
+            barrier.wait()
+            if locked_exclusive_write(target, b"%d" % i):
+                wins.append(i)
+
+        threads = [threading.Thread(target=attempt, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(wins) == 1
+        with open(target, "rb") as fh:
+            assert fh.read() == b"%d" % wins[0]
+
+    @staticmethod
+    def _result(units=10):
+        from repro.harness.runner import RunResult
+
+        return RunResult(config="P2", cpus=2, nodes=1, workload="t",
+                         units=units, time_per_unit_ns=1.0,
+                         throughput=1.0, busy_frac=0.5, l2_frac=0.25,
+                         mem_frac=0.25, miss_hit_frac=0.5,
+                         miss_fwd_frac=0.25, miss_mem_frac=0.25)
+
+    def test_disk_cache_put_reports_dedupe(self, service_env):
+        cache = DiskCache(service_env)
+        assert cache.put("k" * 64, self._result(10)) is True
+        assert cache.put("k" * 64, self._result(99)) is False
+        assert cache.get("k" * 64).units == 10  # first writer won
+
+    def test_cache_clear_spares_sibling_stores(self, service_env):
+        cache = DiskCache(service_env)
+        cache.put("a" * 64, self._result())
+        store = ArtifactStore(service_env)
+        assert store.put_artifact("b" * 64, {"kind": "run"}) is True
+        os.makedirs(store.jobs_dir(), exist_ok=True)
+        manifest = os.path.join(store.jobs_dir(), "j0", "job.json")
+        os.makedirs(os.path.dirname(manifest))
+        with open(manifest, "w") as fh:
+            json.dump({}, fh)
+
+        removed = cache.clear()
+        assert removed == 1  # only the result entry
+        assert store.get_artifact("b" * 64) == {"kind": "run"}
+        assert os.path.exists(manifest)
+
+    def test_warm_store_put_is_exclusive(self, service_env):
+        from repro.checkpoint import build_manifest
+        from repro.checkpoint.store import WarmStore
+
+        store = WarmStore(os.path.join(service_env, "checkpoints"))
+        manifest = build_manifest(b"payload", fingerprint="f",
+                                  config_digest="c", workload="w",
+                                  nodes=1, sim_now=0, extra={})
+        key = "c" * 64
+        assert store.put(key, manifest, b"payload") is True
+        assert store.put(key, manifest, b"payload") is False
+
+
+# -- telemetry torn lines (satellite 1) ----------------------------------
+
+class TestTornTelemetry:
+    def test_parse_line_rejects_partial_json(self):
+        assert parse_line(b'{"kind": "interval", "throughput"') is None
+        assert parse_line(b"") is None
+        assert parse_line(b"   \n") is None
+        assert parse_line(b'{"kind": "run_end"}') == {"kind": "run_end"}
+
+    def test_parse_line_rejects_torn_multibyte_utf8(self):
+        line = json.dumps({"kind": "note", "msg": "café"},
+                          ensure_ascii=False).encode()
+        # cut inside the 2-byte UTF-8 sequence for é
+        torn = line[:line.index(b"\xc3") + 1]
+        assert parse_line(torn) is None
+        assert parse_line(line) is not None
+
+    def test_read_records_skips_torn_tail(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with open(path, "wb") as fh:
+            fh.write(json.dumps({"kind": "run_start"}).encode() + b"\n")
+            fh.write(b'{"kind": "interval", "thr')  # torn, no newline
+        records = read_records(path)
+        assert [r["kind"] for r in records] == ["run_start"]
+
+    def test_follow_buffers_partial_line_until_complete(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        full = json.dumps({"kind": "interval", "msg": "café"},
+                          ensure_ascii=False).encode()
+        with open(path, "wb") as fh:
+            fh.write(json.dumps({"kind": "run_start"}).encode() + b"\n")
+            fh.write(full[:len(full) - 3])  # torn mid-record
+
+        seen = []
+
+        def complete():
+            time.sleep(0.3)
+            with open(path, "ab") as fh:
+                fh.write(full[len(full) - 3:] + b"\n")
+                fh.write(json.dumps({"kind": "run_end"}).encode() + b"\n")
+
+        finisher = threading.Thread(target=complete)
+        finisher.start()
+        try:
+            for record in follow_records(path, timeout_s=10.0, poll_s=0.05):
+                seen.append(record["kind"])
+        finally:
+            finisher.join()
+        assert seen == ["run_start", "interval", "run_end"]
+        assert any(r.get("msg") == "café"
+                   for r in read_records(path))
+
+    def test_stream_append_mode_continues_file(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with TelemetryStream(path) as stream:
+            stream.emit("run_start")
+        with TelemetryStream(path, append=True) as stream:
+            stream.emit("run_end")
+        assert [r["kind"] for r in read_records(path)] == \
+            ["run_start", "run_end"]
+
+
+# -- artifact store -------------------------------------------------------
+
+class TestArtifactStore:
+    def test_roundtrip_and_counters(self, service_env):
+        store = ArtifactStore(service_env)
+        key = "d" * 64
+        assert store.get_artifact(key) is None
+        assert store.put_artifact(key, {"kind": "run", "n": 1}) is True
+        assert store.put_artifact(key, {"kind": "run", "n": 2}) is False
+        assert store.get_artifact(key) == {"kind": "run", "n": 1}
+        assert store.artifact_misses == 1
+        assert store.artifact_hits == 1
+        info = store.info()
+        assert info["artifacts"]["entries"] == 1
+
+
+# -- queue ----------------------------------------------------------------
+
+class TestJobQueue:
+    def test_spec_normalisation_and_keys(self):
+        a = normalize_spec({"workload": "oltp", "nodes": "2"})
+        b = normalize_spec({"workload": "oltp", "nodes": 2,
+                            "scale": 1, "kind": "run"})
+        assert a == b
+        assert dedupe_key_for({"workload": "oltp", "nodes": "2"}) == \
+            dedupe_key_for({"workload": "oltp", "nodes": 2})
+        # priority is scheduling policy, not identity; tags split
+        assert dedupe_key_for({"workload": "oltp"}) != \
+            dedupe_key_for({"workload": "oltp", "tag": "again"})
+
+    def test_priority_then_fifo(self, tmp_path):
+        queue = JobQueue(str(tmp_path / "jobs"))
+        lo1 = queue.create({"workload": "oltp"}, priority=0)
+        hi = queue.create({"workload": "dss"}, priority=5)
+        lo2 = queue.create({"workload": "web"}, priority=0)
+        for record in (lo1, hi, lo2):
+            queue.push(record)
+        order = [queue.pop_ready().job_id for _ in range(3)]
+        assert order == [hi.job_id, lo1.job_id, lo2.job_id]
+
+    def test_suspended_job_resumes_ahead_of_later_arrivals(self, tmp_path):
+        queue = JobQueue(str(tmp_path / "jobs"))
+        victim = queue.create({"workload": "oltp"}, priority=0)
+        queue.push(victim)
+        assert queue.pop_ready() is victim  # launched
+        victim.state = jobq.SUSPENDED
+        later = queue.create({"workload": "dss"}, priority=0)
+        queue.push(later)
+        queue.push(victim)  # requeued with its original seq
+        assert queue.pop_ready() is victim
+
+    def test_recover_replays_manifests(self, tmp_path):
+        jobs_root = str(tmp_path / "jobs")
+        queue = JobQueue(jobs_root)
+        queued = queue.create({"workload": "oltp"}, priority=1)
+        running = queue.create({"workload": "dss"})
+        suspended = queue.create({"workload": "web"})
+        done = queue.create({"workload": "oltp", "tag": "x"})
+        running.state = jobq.RUNNING
+        running.save()
+        # a stale preemption request must not survive recovery
+        with open(running.preempt_path, "w") as fh:
+            fh.write("{}")
+        suspended.state = jobq.RUNNING
+        with open(suspended.suspend_path, "wb") as fh:
+            fh.write(b"snapshot")
+        suspended.save()
+        done.state = jobq.DONE
+        done.save()
+
+        fresh = JobQueue(jobs_root)
+        counts = fresh.recover()
+        assert counts == {"queued": 1, "suspended": 1, "restarted": 1,
+                          "kept": 1}
+        assert fresh.records[running.job_id].state == jobq.QUEUED
+        assert not os.path.exists(running.preempt_path)
+        assert fresh.records[suspended.job_id].state == jobq.SUSPENDED
+        assert fresh._next_seq == 4
+        # priority-1 queued job comes out first
+        assert fresh.pop_ready().job_id == queued.job_id
+
+
+# -- worker: preemption determinism (satellite 3) ------------------------
+
+def _run_job_inprocess(queue, spec, priority=0):
+    """Drive one run job through execute_job until done; returns the
+    (record, artifact, outcomes) triple."""
+    record = queue.create(spec, priority)
+    outcomes = []
+    artifact = None
+    for _ in range(10):
+        with TelemetryStream(record.telemetry_path, append=True) as stream:
+            outcome, artifact = execute_job(record, stream)
+        outcomes.append(outcome)
+        if outcome == "done":
+            break
+    return record, artifact, outcomes
+
+
+class TestPreemptionDeterminism:
+    def test_preempted_resume_is_byte_identical(self, tmp_path,
+                                                monkeypatch):
+        """The acceptance gate: suspend at a guard tick, resume in a
+        fresh incarnation, and the metrics document (and every
+        deterministic RunResult field) is byte-identical to an
+        uninterrupted run with the same guard period."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")  # no cache shortcuts
+        queue = JobQueue(str(tmp_path / "jobs"))
+        spec = {"kind": "run", "workload": "migratory", "config": "P2",
+                "scale": 1.0, "preempt_every_us": 2.0,
+                "sample_interval_us": 4.0, "probe_rate": 16}
+
+        # (a) preempted at the first guard tick, then resumed
+        preempted = queue.create(spec, priority=0)
+        with open(preempted.preempt_path, "w") as fh:
+            json.dump({"by": "test"}, fh)
+        with TelemetryStream(preempted.telemetry_path) as stream:
+            outcome, artifact = execute_job(preempted, stream)
+        assert outcome == "suspended"
+        assert os.path.exists(preempted.suspend_path)
+        assert not os.path.exists(preempted.preempt_path)  # consumed
+        with TelemetryStream(preempted.telemetry_path,
+                             append=True) as stream:
+            outcome, art_resumed = execute_job(preempted, stream)
+        assert outcome == "done"
+        assert not os.path.exists(preempted.suspend_path)  # stale, gone
+
+        # (b) the same spec, uninterrupted
+        _, art_plain, outcomes = _run_job_inprocess(
+            queue, dict(spec, tag="plain"))
+        assert outcomes == ["done"]
+
+        a = dict(art_resumed["result"])
+        b = dict(art_plain["result"])
+        a.pop("sim_wall_s")
+        b.pop("sim_wall_s")
+        assert json.dumps(a["extras"]["metrics"], sort_keys=True) == \
+            json.dumps(b["extras"]["metrics"], sort_keys=True)
+        assert json.dumps(a, sort_keys=True, default=str) == \
+            json.dumps(b, sort_keys=True, default=str)
+
+        kinds = [r["kind"] for r in read_records(preempted.telemetry_path)]
+        assert "job_preempted" in kinds
+        assert "job_resumed" in kinds
+        assert kinds[-1] == "run_end"
+        assert kinds.index("job_preempted") < kinds.index("job_resumed")
+
+    def test_guard_tick_without_flag_keeps_running(self, tmp_path):
+        class FakeSim:
+            now = 0
+
+            def schedule_every(self, every_ps, fn):
+                self.every = every_ps
+
+            def halt(self):
+                raise AssertionError("must not halt without a request")
+
+        class FakeSystem:
+            sim = FakeSim()
+            _running_cpus = 3
+
+        guard = PreemptGuard(FakeSystem(), str(tmp_path / "absent.req"),
+                             1000, sink=lambda payload, now: None)
+        assert guard.tick() is True  # keep polling
+        assert guard.suspended is False
+
+    def test_guard_rejects_nonpositive_period(self, tmp_path):
+        with pytest.raises(ValueError):
+            PreemptGuard(object(), str(tmp_path / "f"), 0, sink=None)
+
+
+# -- server end-to-end ----------------------------------------------------
+
+@pytest.fixture
+def server_root(tmp_path, monkeypatch):
+    """Store root for subprocess-backed server tests.
+
+    The server exports REPRO_CACHE_DIR to its workers itself; the
+    monkeypatching only isolates the *test* process."""
+    root = str(tmp_path / "store")
+    monkeypatch.setenv("REPRO_CACHE_DIR", root)
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    return root
+
+
+def _client(srv):
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(*srv.address)
+
+
+class TestServer:
+    def test_dedupe_and_live_streaming(self, server_root):
+        """4 concurrent submissions with 2 duplicates → ≤2 simulations;
+        a subscriber attached mid-run sees live records through run_end."""
+        from repro.service.server import ServerThread
+
+        spec_a = {"kind": "run", "workload": "migratory", "config": "P4",
+                  "sample_interval_us": 2.0}
+        spec_b = dict(spec_a, config="P2")
+        with ServerThread(root=server_root, workers=2) as srv:
+            client = _client(srv)
+            docs = [client.submit(s)
+                    for s in (spec_a, spec_b, spec_a, spec_b)]
+            ids = [d["job_id"] for d in docs]
+            # attach to the first job while it runs (replay + follow)
+            kinds = [r["kind"] for r in client.attach(ids[0])]
+            assert kinds[0] == "job_queued"
+            assert kinds[-1] == "run_end"
+            assert "interval" in kinds  # live sampler records streamed
+            finals = [client.wait(i, timeout_s=120) for i in ids]
+            assert all(f["state"] == "DONE" for f in finals)
+            assert {finals[2]["dedup_of"], finals[3]["dedup_of"]} == \
+                {ids[0], ids[1]}
+            # duplicates return the leader's artifact
+            assert client.result(ids[2]) == client.result(ids[0])
+            stats = client.stats()
+            assert stats["counters"]["dedupe_hits"] == 2
+            assert stats["counters"]["completed"] == 4
+            # resubmission after completion answers from the store
+            instant = client.submit(spec_a)
+            assert instant["state"] == "DONE"
+            assert instant["dedup_of"] == "artifact"
+
+    def test_priority_preemption_round_trip(self, server_root):
+        from repro.service.server import ServerThread
+
+        with ServerThread(root=server_root, workers=1) as srv:
+            client = _client(srv)
+            low = client.submit({"kind": "run", "workload": "oltp",
+                                 "config": "P2", "scale": 0.25,
+                                 "preempt_every_us": 5.0}, priority=0)
+            deadline = time.monotonic() + 30
+            while client.job(low["job_id"])["state"] != "RUNNING":
+                assert time.monotonic() < deadline, "low job never started"
+                time.sleep(0.05)
+            high = client.submit({"kind": "run", "workload": "migratory",
+                                  "config": "P4"}, priority=5)
+            final_high = client.wait(high["job_id"], timeout_s=120)
+            final_low = client.wait(low["job_id"], timeout_s=240)
+            assert final_high["state"] == "DONE"
+            assert final_low["state"] == "DONE"
+            assert final_low["preemptions"] >= 1
+            assert final_low["resumes"] >= 1
+            kinds = [r["kind"]
+                     for r in client.attach(low["job_id"])]
+            assert "job_preempted" in kinds
+            assert "job_resumed" in kinds
+            assert kinds[-1] == "run_end"
+            preempted = next(r for r in client.attach(low["job_id"])
+                             if r["kind"] == "job_preempted")
+            assert preempted["by"] == high["job_id"]
+
+    def test_restart_recovers_queue(self, server_root):
+        from repro.service.server import ServerThread
+
+        spec = {"kind": "run", "workload": "migratory", "config": "P4"}
+        with ServerThread(root=server_root, workers=0) as srv:
+            client = _client(srv)
+            job = client.submit(spec)
+            assert client.job(job["job_id"])["state"] == "QUEUED"
+        # manifest gone after clean shutdown
+        assert not os.path.exists(
+            ArtifactStore(server_root).server_manifest_path())
+        with ServerThread(root=server_root, workers=1) as srv:
+            client = _client(srv)
+            assert srv.server.stats["recovered"] == 1
+            final = client.wait(job["job_id"], timeout_s=120)
+            assert final["state"] == "DONE"
+
+    def test_cancel_queued_job(self, server_root):
+        from repro.service.server import ServerThread
+
+        with ServerThread(root=server_root, workers=0) as srv:
+            client = _client(srv)
+            job = client.submit({"kind": "run", "workload": "oltp"})
+            assert client.cancel(job["job_id"])["state"] == "CANCELLED"
+            # attach on a cancelled job still terminates (server wrote
+            # the terminal run_end)
+            kinds = [r["kind"] for r in client.attach(job["job_id"])]
+            assert kinds[-1] == "run_end"
+            assert client.cancel(job["job_id"])["cancelled"] is False
+
+    def test_rejects_malformed_submission(self, server_root):
+        from repro.service.client import ServiceError
+        from repro.service.server import ServerThread
+
+        with ServerThread(root=server_root, workers=0) as srv:
+            client = _client(srv)
+            with pytest.raises(ServiceError):
+                client.submit({})
+            with pytest.raises(ServiceError):
+                client.job("j99999-nope")
